@@ -1,0 +1,65 @@
+// Reproduces Fig. 2: workload analysis of CKKS client-side operations at
+// the bootstrappable parameter set (N = 2^16, 12 double-scaled levels =
+// 24 limbs for encode+encrypt, 1 level = 2 limbs for decode+decrypt).
+// Counts are measured by instrumented kernels, not estimated.
+// Paper reference points: 27.0 MOPs encode+encrypt, 2.9 MOPs
+// decode+decrypt (seed-compressed profile; see DESIGN.md Sec. 5).
+
+#include <cstdio>
+
+#include "baseline/cpu_reference.hpp"
+#include "common/table.hpp"
+
+namespace {
+
+using namespace abc;
+
+void print_breakdown(const char* title, const xf::OpCounts& ops) {
+  const double total = static_cast<double>(ops.total());
+  TextTable table(title);
+  table.set_header({"Operation class", "MOPs", "Share"});
+  auto row = [&](const char* name, u64 count) {
+    table.add_row({name, TextTable::fmt(count / 1e6, 2),
+                   TextTable::fmt(100.0 * count / total, 1) + "%"});
+  };
+  row("I/NTT (modular butterflies)", ops.ntt_total());
+  row("I/FFT (FP butterflies)", ops.fft_total());
+  row("Poly mult/add (element-wise)", ops.poly_total());
+  row("Others (RNS expand, CRT, sampling)", ops.other);
+  table.add_row({"Total", TextTable::fmt(total / 1e6, 2), "100%"});
+  table.print();
+  std::puts("");
+}
+
+}  // namespace
+
+int main() {
+  std::puts("ABC-FHE reproduction :: Fig. 2 (client-side workload analysis)\n");
+  std::puts("Parameters: N = 2^16, 24-limb fresh ciphertexts (double-scale),");
+  std::puts("2-limb server-returned ciphertexts.\n");
+
+  ckks::CkksParams params = ckks::CkksParams::bootstrappable();
+
+  for (auto [mode, name] :
+       {std::pair{ckks::EncryptMode::kSymmetricSeeded,
+                  "seed-compressed symmetric (1 NTT/limb, paper op budget)"},
+        std::pair{ckks::EncryptMode::kPublicKey,
+                  "public-key fresh (3 NTT/limb)"}}) {
+    std::printf("--- Encryption profile: %s ---\n\n", name);
+    baseline::CpuClientPipeline pipeline(params, mode, params.num_limbs, 2);
+    const baseline::CpuMeasurement m = pipeline.measure(1);
+
+    print_breakdown("Encoding + Encrypt operation breakdown",
+                    m.encode_encrypt_ops);
+    print_breakdown("Decoding + Decrypt operation breakdown",
+                    m.decode_decrypt_ops);
+
+    const double enc_mops = m.encode_encrypt_ops.total() / 1e6;
+    const double dec_mops = m.decode_decrypt_ops.total() / 1e6;
+    std::printf(
+        "Totals: encode+encrypt %.1f MOPs, decode+decrypt %.1f MOPs, "
+        "imbalance %.1fx (paper: 27.0 / 2.9 MOPs, ~9.3x)\n\n",
+        enc_mops, dec_mops, enc_mops / dec_mops);
+  }
+  return 0;
+}

@@ -1,0 +1,117 @@
+// Kernel-level microbenchmarks (google-benchmark): the primitive
+// throughputs behind the CPU baseline of Fig. 5(a) — NTT/INTT, the
+// canonical-embedding DWT, hardware-model modular multipliers, ChaCha20
+// expansion, and end-to-end encode/encrypt at bootstrappable parameters.
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "ckks/encoder.hpp"
+#include "ckks/encryptor.hpp"
+#include "prng/samplers.hpp"
+#include "rns/modmul_algorithms.hpp"
+#include "rns/ntt_prime.hpp"
+#include "transform/dwt.hpp"
+#include "transform/ntt.hpp"
+
+namespace {
+
+using namespace abc;
+
+void BM_NttForward(benchmark::State& state) {
+  const int log_n = static_cast<int>(state.range(0));
+  const rns::Modulus q(rns::select_prime_chain(36, log_n, 1)[0]);
+  const xf::NttTables tables(q, log_n);
+  std::mt19937_64 rng(1);
+  std::vector<u64> a(tables.n());
+  for (u64& v : a) v = rng() % q.value();
+  for (auto _ : state) {
+    tables.forward(a);
+    benchmark::DoNotOptimize(a.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<i64>(tables.n()));
+}
+BENCHMARK(BM_NttForward)->Arg(13)->Arg(14)->Arg(15)->Arg(16);
+
+void BM_NttInverse(benchmark::State& state) {
+  const int log_n = static_cast<int>(state.range(0));
+  const rns::Modulus q(rns::select_prime_chain(36, log_n, 1)[0]);
+  const xf::NttTables tables(q, log_n);
+  std::mt19937_64 rng(2);
+  std::vector<u64> a(tables.n());
+  for (u64& v : a) v = rng() % q.value();
+  for (auto _ : state) {
+    tables.inverse(a);
+    benchmark::DoNotOptimize(a.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<i64>(tables.n()));
+}
+BENCHMARK(BM_NttInverse)->Arg(16);
+
+void BM_DwtForward(benchmark::State& state) {
+  const int log_n = static_cast<int>(state.range(0));
+  const xf::CkksDwtPlan plan(log_n);
+  std::vector<xf::Cx<double>> a(plan.n(), {1.0, 0.5});
+  for (auto _ : state) {
+    plan.forward(std::span<xf::Cx<double>>(a));
+    benchmark::DoNotOptimize(a.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<i64>(plan.n()));
+}
+BENCHMARK(BM_DwtForward)->Arg(14)->Arg(16);
+
+template <class ModMul>
+void BM_HwModMul(benchmark::State& state) {
+  const u64 q = (u64{1} << 36) - (u64{1} << 18) + 1;
+  ModMul mm = [&] {
+    if constexpr (std::is_same_v<ModMul, rns::BarrettHwModMul>) {
+      return ModMul(q);
+    } else {
+      return ModMul(q, 44);
+    }
+  }();
+  std::mt19937_64 rng(3);
+  u64 a = rng() % q, b = rng() % q;
+  for (auto _ : state) {
+    a = mm.mul(a, b) | 1;
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK_TEMPLATE(BM_HwModMul, rns::BarrettHwModMul);
+BENCHMARK_TEMPLATE(BM_HwModMul, rns::MontgomeryHwModMul);
+BENCHMARK_TEMPLATE(BM_HwModMul, rns::NttFriendlyMontgomeryHwModMul);
+
+void BM_ChaCha20Expand(benchmark::State& state) {
+  prng::ChaCha20 rng({1, 2, 3}, 0);
+  std::vector<u8> buf(4096);
+  for (auto _ : state) {
+    rng.fill_bytes(buf);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<i64>(buf.size()));
+}
+BENCHMARK(BM_ChaCha20Expand);
+
+void BM_EncodeEncrypt(benchmark::State& state) {
+  // Reduced-depth version of the Fig. 5a CPU measurement so the suite
+  // stays quick; the full numbers come from bench_fig5a_latency.
+  auto ctx = ckks::CkksContext::create(ckks::CkksParams::sweep_point(14, 8));
+  ckks::CkksEncoder encoder(ctx);
+  ckks::KeyGenerator keygen(ctx);
+  const ckks::SecretKey sk = keygen.secret_key();
+  ckks::Encryptor enc(ctx, sk);
+  std::vector<std::complex<double>> msg(encoder.slots(), {0.5, -0.25});
+  for (auto _ : state) {
+    ckks::Ciphertext ct = enc.encrypt(encoder.encode(msg, 8));
+    benchmark::DoNotOptimize(ct.components.data());
+  }
+}
+BENCHMARK(BM_EncodeEncrypt)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

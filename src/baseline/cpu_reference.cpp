@@ -1,0 +1,92 @@
+#include "baseline/cpu_reference.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <random>
+
+namespace abc::baseline {
+namespace {
+
+std::vector<std::complex<double>> random_message(std::size_t slots, u64 seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  std::vector<std::complex<double>> msg(slots);
+  for (auto& z : msg) z = {dist(rng), dist(rng)};
+  return msg;
+}
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+CpuClientPipeline::CpuClientPipeline(const ckks::CkksParams& params,
+                                     ckks::EncryptMode mode,
+                                     std::size_t fresh_limbs,
+                                     std::size_t returned_limbs)
+    : ctx_(ckks::CkksContext::create(params)),
+      encoder_(ctx_),
+      keygen_(ctx_),
+      sk_(keygen_.secret_key()),
+      decryptor_(ctx_, sk_),
+      evaluator_(ctx_),
+      fresh_limbs_(fresh_limbs),
+      returned_limbs_(returned_limbs) {
+  if (mode == ckks::EncryptMode::kPublicKey) {
+    encryptor_ =
+        std::make_unique<ckks::Encryptor>(ctx_, keygen_.public_key(sk_));
+  } else {
+    encryptor_ = std::make_unique<ckks::Encryptor>(ctx_, sk_);
+  }
+}
+
+ckks::Ciphertext CpuClientPipeline::encode_encrypt(
+    std::span<const std::complex<double>> message) {
+  const ckks::Plaintext pt = encoder_.encode(message, fresh_limbs_);
+  return encryptor_->encrypt(pt);
+}
+
+std::vector<std::complex<double>> CpuClientPipeline::decode_decrypt(
+    const ckks::Ciphertext& ct) {
+  const ckks::Plaintext pt = decryptor_.decrypt(ct);
+  return encoder_.decode(pt);
+}
+
+CpuMeasurement CpuClientPipeline::measure(int repeats) {
+  CpuMeasurement m;
+  const auto message = random_message(ctx_->slots(), 99);
+
+  // Server-returned ciphertext at the low level.
+  ckks::Ciphertext returned = encode_encrypt(message);
+  evaluator_.mod_switch_to_inplace(returned, returned_limbs_);
+
+  std::vector<double> enc_times, dec_times;
+  for (int r = 0; r < repeats; ++r) {
+    {
+      xf::OpCounterScope ops;
+      const double t0 = now_ms();
+      ckks::Ciphertext ct = encode_encrypt(message);
+      enc_times.push_back(now_ms() - t0);
+      m.encode_encrypt_ops = ops.delta();
+      (void)ct;
+    }
+    {
+      xf::OpCounterScope ops;
+      const double t0 = now_ms();
+      auto decoded = decode_decrypt(returned);
+      dec_times.push_back(now_ms() - t0);
+      m.decode_decrypt_ops = ops.delta();
+      (void)decoded;
+    }
+  }
+  std::sort(enc_times.begin(), enc_times.end());
+  std::sort(dec_times.begin(), dec_times.end());
+  m.encode_encrypt_ms = enc_times[enc_times.size() / 2];
+  m.decode_decrypt_ms = dec_times[dec_times.size() / 2];
+  return m;
+}
+
+}  // namespace abc::baseline

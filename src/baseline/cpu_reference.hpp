@@ -1,0 +1,65 @@
+#pragma once
+
+/// @file cpu_reference.hpp
+/// Single-threaded CPU baseline: runs the client-side pipeline (the same
+/// operations Lattigo executed on the paper's Intel i7-12700) with our
+/// reference CKKS implementation, measuring wall-clock latency and
+/// operation counts. Fig. 5(a) compares this against the accelerator
+/// simulator; Fig. 2 uses the operation counters.
+
+#include <complex>
+#include <memory>
+#include <vector>
+
+#include "ckks/decryptor.hpp"
+#include "ckks/encoder.hpp"
+#include "ckks/encryptor.hpp"
+#include "ckks/evaluator.hpp"
+#include "transform/op_counter.hpp"
+
+namespace abc::baseline {
+
+struct CpuMeasurement {
+  double encode_encrypt_ms = 0;
+  double decode_decrypt_ms = 0;
+  xf::OpCounts encode_encrypt_ops;
+  xf::OpCounts decode_decrypt_ops;
+};
+
+/// Client workload driver: encode+encrypt fresh messages at
+/// @p fresh_limbs, decode+decrypt server-returned ciphertexts at
+/// @p returned_limbs (paper Sec. V-B: 24 and 2).
+class CpuClientPipeline {
+ public:
+  CpuClientPipeline(const ckks::CkksParams& params,
+                    ckks::EncryptMode mode, std::size_t fresh_limbs,
+                    std::size_t returned_limbs);
+
+  /// Wall-clock and op-count measurement over @p repeats iterations
+  /// (median-of-runs for time, exact counts for ops).
+  CpuMeasurement measure(int repeats = 3);
+
+  /// One encode+encrypt (exposed for workload composition).
+  ckks::Ciphertext encode_encrypt(
+      std::span<const std::complex<double>> message);
+  /// One decode+decrypt.
+  std::vector<std::complex<double>> decode_decrypt(
+      const ckks::Ciphertext& ct);
+
+  const ckks::CkksContext& context() const { return *ctx_; }
+  std::size_t fresh_limbs() const { return fresh_limbs_; }
+  std::size_t returned_limbs() const { return returned_limbs_; }
+
+ private:
+  std::shared_ptr<const ckks::CkksContext> ctx_;
+  ckks::CkksEncoder encoder_;
+  ckks::KeyGenerator keygen_;
+  ckks::SecretKey sk_;
+  std::unique_ptr<ckks::Encryptor> encryptor_;
+  ckks::Decryptor decryptor_;
+  ckks::Evaluator evaluator_;
+  std::size_t fresh_limbs_;
+  std::size_t returned_limbs_;
+};
+
+}  // namespace abc::baseline

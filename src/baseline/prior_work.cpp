@@ -1,0 +1,38 @@
+#include "baseline/prior_work.hpp"
+
+namespace abc::baseline {
+
+PriorWorkPoint sota_client_accelerator(double abc_enc_ms, double abc_dec_ms) {
+  return {
+      .name = "Wang et al. [34] (SOTA client ASIC)",
+      .encode_encrypt_ms = abc_enc_ms * 214.0,
+      .decode_decrypt_ms = abc_dec_ms * 82.0,
+      .basis = "paper-reported 214x/82x speedups, 600 MHz-normalized",
+  };
+}
+
+PriorWorkPoint aloha_he(double abc_enc_ms, double abc_dec_ms) {
+  // FPGA point: ~1.4x slower than [34] on encode+encrypt after clock
+  // normalization (documented model assumption), comparable on decode.
+  return {
+      .name = "Aloha-HE [22] (FPGA)",
+      .encode_encrypt_ms = abc_enc_ms * 214.0 * 1.4,
+      .decode_decrypt_ms = abc_dec_ms * 82.0 * 1.15,
+      .basis = "op-scaled from [34] with FPGA clock handicap (model)",
+  };
+}
+
+double trinity_resnet20_server_ms(double client34_total_ms) {
+  // 69.4% client / 30.6% server with the [34] client (paper Fig. 1).
+  return client34_total_ms * (30.6 / 69.4);
+}
+
+double cpu_resnet20_server_ms(double trinity_ms) {
+  // Fig. 1 top bar: homomorphic evaluation on the dual-Xeon baseline sits
+  // at the 1e7 ms axis mark while the accelerated stack is ~1e2 ms class:
+  // model the server ASIC gain as 3e5x (consistent with server-accelerator
+  // literature for deep CNNs under FHE when batching is accounted).
+  return trinity_ms * 3.0e5;
+}
+
+}  // namespace abc::baseline

@@ -1,0 +1,57 @@
+#pragma once
+
+/// @file ciphertext.hpp
+/// Plaintext and ciphertext containers. A plaintext is a scaled integer
+/// polynomial in coefficient form; a ciphertext is a tuple of RNS
+/// polynomials in evaluation (NTT) form. Unrelinearized products carry a
+/// third component (decryptable against s^2 — the client-side library does
+/// not implement key switching, which is a server-side operation).
+
+#include <optional>
+#include <vector>
+
+#include "poly/rns_poly.hpp"
+
+namespace abc::ckks {
+
+struct Plaintext {
+  poly::RnsPoly poly;  // coefficient domain
+  double scale = 0.0;
+
+  std::size_t limbs() const noexcept { return poly.limbs(); }
+};
+
+/// Metadata for a seed-compressed second component: instead of shipping
+/// c1, the symmetric encryptor ships the PRNG stream id that regenerates
+/// it (the paper's on-chip PRNG makes this free on the accelerator).
+struct CompressedComponent {
+  u64 stream_id = 0;
+};
+
+struct Ciphertext {
+  std::vector<poly::RnsPoly> components;  // evaluation domain, size 2 or 3
+  double scale = 0.0;
+  std::optional<CompressedComponent> compressed_c1;
+
+  std::size_t size() const noexcept { return components.size(); }
+  std::size_t limbs() const noexcept { return components.at(0).limbs(); }
+
+  const poly::RnsPoly& c(std::size_t i) const { return components.at(i); }
+  poly::RnsPoly& c(std::size_t i) { return components.at(i); }
+
+  /// Serialized bytes at a packed coefficient width (DRAM/stream models);
+  /// a compressed c1 costs only its 8-byte stream id + the shared seed.
+  double packed_bytes(int bits_per_coeff) const {
+    double total = 0.0;
+    for (std::size_t i = 0; i < components.size(); ++i) {
+      if (i == 1 && compressed_c1.has_value()) {
+        total += 8.0;
+        continue;
+      }
+      total += components[i].packed_bytes(bits_per_coeff);
+    }
+    return total;
+  }
+};
+
+}  // namespace abc::ckks

@@ -1,0 +1,47 @@
+#pragma once
+
+/// @file context.hpp
+/// Immutable CKKS context: validated parameters, the RNS prime chain
+/// (hardware-friendly primes from the paper's selection methodology), NTT
+/// tables per limb, and the canonical-embedding DWT plan.
+
+#include <memory>
+#include <vector>
+
+#include "ckks/params.hpp"
+#include "poly/rns_poly.hpp"
+#include "transform/dwt.hpp"
+
+namespace abc::ckks {
+
+class CkksContext {
+ public:
+  /// Validates parameters, selects the prime chain and builds all tables.
+  static std::shared_ptr<const CkksContext> create(const CkksParams& params);
+
+  const CkksParams& params() const noexcept { return params_; }
+  const std::vector<u64>& primes() const noexcept { return primes_; }
+  std::shared_ptr<const poly::PolyContext> poly_context() const noexcept {
+    return poly_ctx_;
+  }
+  const xf::CkksDwtPlan& dwt() const noexcept { return dwt_; }
+
+  std::size_t n() const noexcept { return params_.n(); }
+  std::size_t slots() const noexcept { return params_.slots(); }
+  std::size_t max_limbs() const noexcept { return params_.num_limbs; }
+
+  /// Fresh polynomial helper.
+  poly::RnsPoly make_poly(std::size_t limbs, poly::Domain domain) const {
+    return poly::RnsPoly(poly_ctx_, limbs, domain);
+  }
+
+  explicit CkksContext(const CkksParams& params);  // use create()
+
+ private:
+  CkksParams params_;
+  std::vector<u64> primes_;
+  std::shared_ptr<const poly::PolyContext> poly_ctx_;
+  xf::CkksDwtPlan dwt_;
+};
+
+}  // namespace abc::ckks

@@ -1,0 +1,29 @@
+#include "ckks/decryptor.hpp"
+
+namespace abc::ckks {
+
+Decryptor::Decryptor(std::shared_ptr<const CkksContext> ctx,
+                     const SecretKey& sk)
+    : ctx_(std::move(ctx)), sk_eval_(sk.s) {
+  ABC_CHECK_ARG(ctx_ != nullptr, "null context");
+}
+
+Plaintext Decryptor::decrypt(const Ciphertext& ct) {
+  ABC_CHECK_ARG(ct.size() == 2 || ct.size() == 3,
+                "ciphertext must have 2 or 3 components");
+  const std::size_t limbs = ct.limbs();
+  const poly::RnsPoly s = sk_eval_.prefix_copy(limbs);
+
+  // phase = c0 + c1*s (+ c2*s^2)
+  poly::RnsPoly phase = ct.c(0);
+  phase.fma_inplace(ct.c(1), s);
+  if (ct.size() == 3) {
+    poly::RnsPoly s2 = s;
+    s2.mul_inplace(s);
+    phase.fma_inplace(ct.c(2), s2);
+  }
+  phase.to_coeff();
+  return Plaintext{std::move(phase), ct.scale};
+}
+
+}  // namespace abc::ckks

@@ -1,0 +1,30 @@
+#pragma once
+
+/// @file decryptor.hpp
+/// Client-side decryption, paper Fig. 2a "Decoding + Decrypt": the phase
+/// polynomial c0 + c1*s (+ c2*s^2 for unrelinearized products) is
+/// accumulated in the evaluation domain, INTT'd per limb, and handed to
+/// the decoder (CRT combine + FFT).
+
+#include <memory>
+
+#include "ckks/ciphertext.hpp"
+#include "ckks/context.hpp"
+#include "ckks/keygen.hpp"
+
+namespace abc::ckks {
+
+class Decryptor {
+ public:
+  Decryptor(std::shared_ptr<const CkksContext> ctx, const SecretKey& sk);
+
+  /// Decrypts 2- or 3-component ciphertexts; returns a coefficient-domain
+  /// plaintext carrying the ciphertext scale.
+  Plaintext decrypt(const Ciphertext& ct);
+
+ private:
+  std::shared_ptr<const CkksContext> ctx_;
+  poly::RnsPoly sk_eval_;
+};
+
+}  // namespace abc::ckks

@@ -1,0 +1,148 @@
+#include "ckks/encoder.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "rns/rns_basis.hpp"
+#include "transform/softfloat.hpp"
+
+namespace abc::ckks {
+
+using xf::Cx;
+using xf::Rounded;
+
+CkksEncoder::CkksEncoder(std::shared_ptr<const CkksContext> ctx)
+    : ctx_(std::move(ctx)) {
+  ABC_CHECK_ARG(ctx_ != nullptr, "null context");
+}
+
+template <class F>
+std::vector<i64> CkksEncoder::embed_and_round(
+    std::span<const std::complex<double>> values) const {
+  const xf::CkksDwtPlan& plan = ctx_->dwt();
+  const std::size_t n = ctx_->n();
+  const std::size_t slot_count = ctx_->slots();
+  ABC_CHECK_ARG(values.size() <= slot_count, "too many values for slot count");
+
+  std::vector<Cx<F>> buf(n, Cx<F>{F(0.0), F(0.0)});
+  const auto map = plan.index_map();
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    buf[map[i]] = Cx<F>{F(values[i].real()), F(values[i].imag())};
+    buf[map[slot_count + i]] = Cx<F>{F(values[i].real()), F(-values[i].imag())};
+  }
+  plan.inverse(std::span<Cx<F>>(buf));
+
+  const double scale = ctx_->params().scale();
+  std::vector<i64> coeffs(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const F scaled = buf[j].re * F(scale);
+    const double v = xf::as_double(scaled);
+    ABC_CHECK_ARG(std::abs(v) < 0x1.0p62,
+                  "encoded coefficient overflows 63 bits; reduce input "
+                  "magnitude or scale");
+    coeffs[j] = std::llround(v);
+  }
+  xf::op_counts().other += n;  // rounding pass
+  return coeffs;
+}
+
+Plaintext CkksEncoder::encode(std::span<const std::complex<double>> values,
+                              std::size_t limbs) const {
+  const std::vector<i64> coeffs = embed_and_round<double>(values);
+  Plaintext pt{ctx_->make_poly(limbs, poly::Domain::kCoeff),
+               ctx_->params().scale()};
+  pt.poly.set_from_signed(coeffs);
+  return pt;
+}
+
+Plaintext CkksEncoder::encode_real(std::span<const double> values,
+                                   std::size_t limbs) const {
+  std::vector<std::complex<double>> cx(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) cx[i] = {values[i], 0.0};
+  return encode(cx, limbs);
+}
+
+Plaintext CkksEncoder::encode_with_mantissa(
+    std::span<const std::complex<double>> values, std::size_t limbs,
+    int mantissa_bits) const {
+  xf::FpPrecision guard(mantissa_bits);
+  const std::vector<i64> coeffs = embed_and_round<Rounded>(values);
+  Plaintext pt{ctx_->make_poly(limbs, poly::Domain::kCoeff),
+               ctx_->params().scale()};
+  pt.poly.set_from_signed(coeffs);
+  return pt;
+}
+
+template <class F>
+std::vector<std::complex<double>> CkksEncoder::lift_and_extract(
+    std::span<const double> centered, double scale) const {
+  const xf::CkksDwtPlan& plan = ctx_->dwt();
+  const std::size_t n = ctx_->n();
+  std::vector<Cx<F>> buf(n);
+  ABC_CHECK_ARG(scale > 0, "plaintext scale must be positive");
+  const double inv_scale = 1.0 / scale;
+  for (std::size_t j = 0; j < n; ++j) {
+    buf[j] = Cx<F>{F(centered[j] * inv_scale), F(0.0)};
+  }
+  plan.forward(std::span<Cx<F>>(buf));
+  const auto map = plan.index_map();
+  std::vector<std::complex<double>> out(ctx_->slots());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const Cx<F>& z = buf[map[i]];
+    out[i] = {xf::as_double(z.re), xf::as_double(z.im)};
+  }
+  return out;
+}
+
+std::vector<std::complex<double>> CkksEncoder::decode(
+    const Plaintext& pt) const {
+  ABC_CHECK_ARG(pt.poly.domain() == poly::Domain::kCoeff,
+                "decode expects a coefficient-domain plaintext");
+  const std::size_t n = ctx_->n();
+  const std::size_t limbs = pt.limbs();
+  rns::CrtComposer composer(ctx_->poly_context()->basis(), limbs);
+  std::vector<double> centered(n);
+  std::vector<u64> residues(limbs);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < limbs; ++i) residues[i] = pt.poly.limb(i)[j];
+    centered[j] = composer.compose_centered(residues);
+  }
+  xf::op_counts().other += n * limbs;  // CRT combine work
+  return lift_and_extract<double>(centered, pt.scale);
+}
+
+std::vector<std::complex<double>> CkksEncoder::decode_with_mantissa(
+    const Plaintext& pt, int mantissa_bits) const {
+  ABC_CHECK_ARG(pt.poly.domain() == poly::Domain::kCoeff,
+                "decode expects a coefficient-domain plaintext");
+  const std::size_t n = ctx_->n();
+  const std::size_t limbs = pt.limbs();
+  rns::CrtComposer composer(ctx_->poly_context()->basis(), limbs);
+  std::vector<double> centered(n);
+  std::vector<u64> residues(limbs);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < limbs; ++i) residues[i] = pt.poly.limb(i)[j];
+    centered[j] = composer.compose_centered(residues);
+  }
+  xf::op_counts().other += n * limbs;
+  xf::FpPrecision guard(mantissa_bits);
+  return lift_and_extract<Rounded>(centered, pt.scale);
+}
+
+PrecisionReport compare_slots(std::span<const std::complex<double>> reference,
+                              std::span<const std::complex<double>> measured) {
+  ABC_CHECK_ARG(reference.size() == measured.size(), "size mismatch");
+  PrecisionReport r;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    const double err = std::abs(reference[i] - measured[i]);
+    r.max_abs_error = std::max(r.max_abs_error, err);
+    sum += err;
+  }
+  r.mean_abs_error = reference.empty() ? 0.0 : sum / static_cast<double>(reference.size());
+  r.precision_bits =
+      r.max_abs_error > 0 ? -std::log2(r.max_abs_error) : 60.0;
+  return r;
+}
+
+}  // namespace abc::ckks

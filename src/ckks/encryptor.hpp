@@ -1,0 +1,58 @@
+#pragma once
+
+/// @file encryptor.hpp
+/// Client-side encryption, paper Fig. 2a "Encoding + Encrypt". Two modes:
+///
+///  * Public-key: ct = (b*u + m + e0, a*u + e1) with ternary mask u. Costs
+///    3 NTT passes per limb (NTT(u), NTT(m + e0), NTT(e1)).
+///  * Symmetric seeded: ct = (-(a*s) + m + e, a) with a regenerated from a
+///    PRNG stream id, so only the first component is materialized/shipped.
+///    Costs 1 NTT pass per limb — the profile matching the paper's
+///    27.0 MOPs encode+encrypt budget (Fig. 2b).
+///
+/// The per-limb NTT-pass count is exported so the accelerator scheduler
+/// (src/core) accounts the same work the software executes.
+
+#include <memory>
+
+#include "ckks/ciphertext.hpp"
+#include "ckks/context.hpp"
+#include "ckks/keygen.hpp"
+
+namespace abc::ckks {
+
+enum class EncryptMode {
+  kPublicKey,
+  kSymmetricSeeded,
+};
+
+/// NTT passes per limb per encryption for each mode (scheduler input).
+constexpr int ntt_passes_per_limb(EncryptMode mode) noexcept {
+  return mode == EncryptMode::kPublicKey ? 3 : 1;
+}
+
+class Encryptor {
+ public:
+  /// Public-key mode.
+  Encryptor(std::shared_ptr<const CkksContext> ctx, PublicKey pk);
+  /// Symmetric seeded mode.
+  Encryptor(std::shared_ptr<const CkksContext> ctx, const SecretKey& sk);
+
+  EncryptMode mode() const noexcept { return mode_; }
+
+  /// Encrypts a plaintext; the ciphertext carries pt's limb count and is in
+  /// evaluation form.
+  Ciphertext encrypt(const Plaintext& pt);
+
+ private:
+  Ciphertext encrypt_public(const Plaintext& pt);
+  Ciphertext encrypt_symmetric(const Plaintext& pt);
+
+  std::shared_ptr<const CkksContext> ctx_;
+  EncryptMode mode_;
+  std::unique_ptr<PublicKey> pk_;
+  std::unique_ptr<poly::RnsPoly> sk_eval_;
+  u64 counter_ = 0;
+};
+
+}  // namespace abc::ckks

@@ -1,0 +1,141 @@
+#include "ckks/evaluator.hpp"
+
+#include <cmath>
+
+namespace abc::ckks {
+namespace {
+
+void check_binop(const Ciphertext& a, const Ciphertext& b) {
+  ABC_CHECK_ARG(a.limbs() == b.limbs(), "level mismatch");
+  ABC_CHECK_ARG(std::abs(a.scale - b.scale) <=
+                    1e-9 * std::max(a.scale, b.scale),
+                "scale mismatch");
+}
+
+}  // namespace
+
+Evaluator::Evaluator(std::shared_ptr<const CkksContext> ctx)
+    : ctx_(std::move(ctx)) {
+  ABC_CHECK_ARG(ctx_ != nullptr, "null context");
+}
+
+Ciphertext Evaluator::add(const Ciphertext& a, const Ciphertext& b) const {
+  check_binop(a, b);
+  ABC_CHECK_ARG(a.size() == b.size(), "component count mismatch");
+  Ciphertext out = a;
+  out.compressed_c1.reset();  // result c1 is an explicit polynomial now
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out.c(i).add_inplace(b.c(i));
+  }
+  return out;
+}
+
+Ciphertext Evaluator::sub(const Ciphertext& a, const Ciphertext& b) const {
+  check_binop(a, b);
+  ABC_CHECK_ARG(a.size() == b.size(), "component count mismatch");
+  Ciphertext out = a;
+  out.compressed_c1.reset();
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out.c(i).sub_inplace(b.c(i));
+  }
+  return out;
+}
+
+Ciphertext Evaluator::add_plain(const Ciphertext& ct,
+                                const Plaintext& pt) const {
+  ABC_CHECK_ARG(ct.limbs() == pt.limbs(), "level mismatch");
+  ABC_CHECK_ARG(std::abs(ct.scale - pt.scale) <=
+                    1e-9 * std::max(ct.scale, pt.scale),
+                "scale mismatch");
+  poly::RnsPoly m = pt.poly;
+  m.to_eval();
+  Ciphertext out = ct;
+  out.c(0).add_inplace(m);
+  return out;
+}
+
+Ciphertext Evaluator::mul_plain(const Ciphertext& ct,
+                                const Plaintext& pt) const {
+  ABC_CHECK_ARG(ct.limbs() == pt.limbs(), "level mismatch");
+  poly::RnsPoly m = pt.poly;
+  m.to_eval();
+  Ciphertext out = ct;
+  out.compressed_c1.reset();
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out.c(i).mul_inplace(m);
+  }
+  out.scale = ct.scale * pt.scale;
+  return out;
+}
+
+Ciphertext Evaluator::mul(const Ciphertext& a, const Ciphertext& b) const {
+  ABC_CHECK_ARG(a.size() == 2 && b.size() == 2,
+                "only 2-component inputs supported (relinearize first)");
+  ABC_CHECK_ARG(a.limbs() == b.limbs(), "level mismatch");
+  poly::RnsPoly c0 = a.c(0);
+  c0.mul_inplace(b.c(0));
+  poly::RnsPoly c1 = a.c(0);
+  c1.mul_inplace(b.c(1));
+  c1.fma_inplace(a.c(1), b.c(0));
+  poly::RnsPoly c2 = a.c(1);
+  c2.mul_inplace(b.c(1));
+  return Ciphertext{{std::move(c0), std::move(c1), std::move(c2)},
+                    a.scale * b.scale,
+                    std::nullopt};
+}
+
+void Evaluator::rescale_poly(poly::RnsPoly& p) const {
+  const std::size_t last = p.limbs() - 1;
+  const poly::PolyContext& pctx = *ctx_->poly_context();
+  const rns::Modulus& q_last = pctx.modulus(last);
+
+  // Bring the last limb back to coefficients.
+  std::vector<u64> c_last(p.limb(last).begin(), p.limb(last).end());
+  pctx.ntt(last).inverse(c_last);
+
+  // Shift into [0, q_last) "rounded" position: add floor(q_last / 2) so the
+  // later floor-division by q_last becomes round-to-nearest.
+  const u64 half = q_last.value() >> 1;
+  for (u64& v : c_last) v = q_last.add(v, half);
+
+  std::vector<u64> tmp(p.n());
+  for (std::size_t i = 0; i < last; ++i) {
+    const rns::Modulus& qi = pctx.modulus(i);
+    const u64 half_mod_qi = qi.reduce(half);
+    const u64 inv_q_last = qi.inv(qi.reduce(q_last.value()));
+    // tmp = NTT_i( (c_last + half) mod q_i - half )
+    for (std::size_t j = 0; j < tmp.size(); ++j) {
+      tmp[j] = qi.sub(qi.reduce(c_last[j]), half_mod_qi);
+    }
+    pctx.ntt(i).forward(tmp);
+    // c_i = (c_i - tmp) * q_last^{-1} mod q_i
+    std::span<u64> dst = p.limb(i);
+    const rns::ShoupMul inv = rns::ShoupMul::make(inv_q_last, qi);
+    for (std::size_t j = 0; j < dst.size(); ++j) {
+      dst[j] = inv.mul(qi.sub(dst[j], tmp[j]), qi.value());
+    }
+  }
+  p.drop_last_limb();
+}
+
+void Evaluator::rescale_inplace(Ciphertext& ct) const {
+  ABC_CHECK_ARG(ct.limbs() >= 2, "cannot rescale a level-1 ciphertext");
+  ABC_CHECK_ARG(!ct.compressed_c1.has_value(),
+                "decompress c1 before rescaling");
+  const std::size_t last = ct.limbs() - 1;
+  const double q_last = static_cast<double>(
+      ctx_->poly_context()->modulus(last).value());
+  for (std::size_t i = 0; i < ct.size(); ++i) rescale_poly(ct.c(i));
+  ct.scale /= q_last;
+}
+
+void Evaluator::mod_switch_to_inplace(Ciphertext& ct,
+                                      std::size_t target_limbs) const {
+  ABC_CHECK_ARG(target_limbs >= 1 && target_limbs <= ct.limbs(),
+                "invalid target level");
+  for (std::size_t i = 0; i < ct.size(); ++i) {
+    ct.c(i) = ct.c(i).prefix_copy(target_limbs);
+  }
+}
+
+}  // namespace abc::ckks

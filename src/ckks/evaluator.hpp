@@ -1,0 +1,52 @@
+#pragma once
+
+/// @file evaluator.hpp
+/// Light homomorphic evaluator. The paper's accelerator is client-side
+/// only, but the examples and the Fig. 1 workload need a working server
+/// counterpart: addition, plaintext multiplication, ciphertext
+/// multiplication (unrelinearized, 3 components) and RNS rescaling.
+/// Key switching / relinearization is intentionally out of scope (it lives
+/// on the server accelerator, e.g. Trinity [9]); decryption handles
+/// 3-component results directly.
+
+#include <memory>
+
+#include "ckks/ciphertext.hpp"
+#include "ckks/context.hpp"
+
+namespace abc::ckks {
+
+class Evaluator {
+ public:
+  explicit Evaluator(std::shared_ptr<const CkksContext> ctx);
+
+  /// Component-wise addition; scales and limb counts must match.
+  Ciphertext add(const Ciphertext& a, const Ciphertext& b) const;
+  Ciphertext sub(const Ciphertext& a, const Ciphertext& b) const;
+
+  /// ct + encode(pt): pt is transformed to evaluation form internally.
+  Ciphertext add_plain(const Ciphertext& ct, const Plaintext& pt) const;
+
+  /// ct * encode(pt): dyadic product against the transformed plaintext;
+  /// the result scale is the product of both scales (rescale afterwards).
+  Ciphertext mul_plain(const Ciphertext& ct, const Plaintext& pt) const;
+
+  /// Full ciphertext product without relinearization: (c0, c1) x (d0, d1)
+  /// -> (c0 d0, c0 d1 + c1 d0, c1 d1).
+  Ciphertext mul(const Ciphertext& a, const Ciphertext& b) const;
+
+  /// Exact RNS rescale: divides by the last prime with rounding and drops
+  /// the limb; scale is divided by q_last.
+  void rescale_inplace(Ciphertext& ct) const;
+
+  /// Drops limbs without scaling (modulus switching to a lower level, used
+  /// to model the server returning a level-2 ciphertext).
+  void mod_switch_to_inplace(Ciphertext& ct, std::size_t target_limbs) const;
+
+ private:
+  void rescale_poly(poly::RnsPoly& p) const;
+
+  std::shared_ptr<const CkksContext> ctx_;
+};
+
+}  // namespace abc::ckks

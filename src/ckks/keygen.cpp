@@ -1,0 +1,72 @@
+#include "ckks/keygen.hpp"
+
+#include "prng/samplers.hpp"
+#include "transform/op_counter.hpp"
+
+namespace abc::ckks {
+
+void fill_uniform_eval(const CkksContext& ctx, poly::RnsPoly& dst,
+                       PrngDomain domain, u64 stream_id) {
+  for (std::size_t i = 0; i < dst.limbs(); ++i) {
+    // One stream per (domain, id, limb): limb folded into the stream id's
+    // upper bits so streams never collide for < 2^32 uses.
+    prng::ChaCha20 rng(ctx.params().seed,
+                       (stream_id << 16) | static_cast<u64>(i),
+                       static_cast<u32>(domain));
+    prng::UniformModSampler sampler(
+        ctx.poly_context()->modulus(i).value());
+    sampler.sample_many(rng, dst.limb(i));
+  }
+  xf::op_counts().other += dst.limbs() * dst.n();
+}
+
+void fill_ternary_coeff(const CkksContext& ctx, poly::RnsPoly& dst,
+                        PrngDomain domain, u64 stream_id) {
+  prng::ChaCha20 rng(ctx.params().seed, stream_id,
+                     static_cast<u32>(domain));
+  prng::TernarySampler sampler;
+  std::vector<i8> values(ctx.n());
+  sampler.sample_many(rng, values);
+  std::vector<i32> wide(values.begin(), values.end());
+  dst.set_from_signed_i32(wide);
+}
+
+void fill_gaussian_coeff(const CkksContext& ctx, poly::RnsPoly& dst,
+                         PrngDomain domain, u64 stream_id) {
+  prng::ChaCha20 rng(ctx.params().seed, stream_id,
+                     static_cast<u32>(domain));
+  prng::DiscreteGaussianSampler sampler(ctx.params().error_sigma);
+  std::vector<i32> values(ctx.n());
+  sampler.sample_many(rng, values);
+  dst.set_from_signed_i32(values);
+}
+
+KeyGenerator::KeyGenerator(std::shared_ptr<const CkksContext> ctx)
+    : ctx_(std::move(ctx)) {
+  ABC_CHECK_ARG(ctx_ != nullptr, "null context");
+}
+
+SecretKey KeyGenerator::secret_key() {
+  poly::RnsPoly s = ctx_->make_poly(ctx_->max_limbs(), poly::Domain::kCoeff);
+  fill_ternary_coeff(*ctx_, s, PrngDomain::kSecretKey, sk_counter_++);
+  s.to_eval();
+  return SecretKey{std::move(s)};
+}
+
+PublicKey KeyGenerator::public_key(const SecretKey& sk) {
+  const u64 id = pk_counter_++;
+  poly::RnsPoly a = ctx_->make_poly(ctx_->max_limbs(), poly::Domain::kEval);
+  fill_uniform_eval(*ctx_, a, PrngDomain::kPublicA, id);
+
+  poly::RnsPoly e = ctx_->make_poly(ctx_->max_limbs(), poly::Domain::kCoeff);
+  fill_gaussian_coeff(*ctx_, e, PrngDomain::kKeygenError, id);
+  e.to_eval();
+
+  poly::RnsPoly b = a;           // deep copy
+  b.mul_inplace(sk.s);           // a * s
+  b.negate_inplace();            // -(a * s)
+  b.add_inplace(e);              // + e
+  return PublicKey{std::move(b), std::move(a)};
+}
+
+}  // namespace abc::ckks

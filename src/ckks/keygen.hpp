@@ -1,0 +1,69 @@
+#pragma once
+
+/// @file keygen.hpp
+/// RLWE key generation for the client: ternary secret, discrete-Gaussian
+/// error, and a public key whose "a" half is uniform. All randomness
+/// derives from the context's 128-bit seed through domain-separated
+/// ChaCha20 streams — the software mirror of the paper's on-chip PRNG that
+/// generates "masks, errors, and keys" (Sec. IV-B).
+
+#include <memory>
+
+#include "ckks/ciphertext.hpp"
+#include "ckks/context.hpp"
+
+namespace abc::ckks {
+
+/// Secret key, stored in evaluation (NTT) form over all limbs.
+struct SecretKey {
+  poly::RnsPoly s;
+};
+
+/// Public key (b, a) with b = -(a*s) + e, both in evaluation form.
+struct PublicKey {
+  poly::RnsPoly b;
+  poly::RnsPoly a;
+};
+
+/// PRNG domain tags, keeping every consumer on a disjoint stream.
+enum class PrngDomain : u32 {
+  kSecretKey = 1,
+  kPublicA = 2,
+  kKeygenError = 3,
+  kEncryptMask = 4,
+  kEncryptError = 5,
+  kSymmetricA = 6,
+};
+
+class KeyGenerator {
+ public:
+  explicit KeyGenerator(std::shared_ptr<const CkksContext> ctx);
+
+  /// Fresh uniform-ternary secret (evaluation form).
+  SecretKey secret_key();
+
+  /// Public key for @p sk: a uniform per limb (sampled directly in the
+  /// evaluation domain — uniformity is domain-invariant), e ~ DG(sigma)
+  /// transformed, b = -(a*s) + e.
+  PublicKey public_key(const SecretKey& sk);
+
+ private:
+  std::shared_ptr<const CkksContext> ctx_;
+  u64 sk_counter_ = 0;
+  u64 pk_counter_ = 0;
+};
+
+/// Fills @p dst (evaluation domain) with per-limb uniform values drawn from
+/// the seed/stream — shared by key generation and symmetric encryption.
+void fill_uniform_eval(const CkksContext& ctx, poly::RnsPoly& dst,
+                       PrngDomain domain, u64 stream_id);
+
+/// Samples a ternary polynomial into coefficient form.
+void fill_ternary_coeff(const CkksContext& ctx, poly::RnsPoly& dst,
+                        PrngDomain domain, u64 stream_id);
+
+/// Samples a discrete-Gaussian error polynomial into coefficient form.
+void fill_gaussian_coeff(const CkksContext& ctx, poly::RnsPoly& dst,
+                         PrngDomain domain, u64 stream_id);
+
+}  // namespace abc::ckks

@@ -1,0 +1,41 @@
+#include "ckks/noise.hpp"
+
+#include <cmath>
+
+namespace abc::ckks {
+
+double fresh_noise_bound(const CkksParams& params, EncryptMode mode) {
+  const double n = static_cast<double>(params.n());
+  const double sigma = params.error_sigma;
+  const double tail = 6.0;  // CDT tail cut
+  if (mode == EncryptMode::kSymmetricSeeded) {
+    // c0 = -(a s) + m + e: decryption phase noise is just e.
+    return tail * sigma * std::sqrt(n);
+  }
+  // Public key: phase noise = u*e_pk + e0 + s*e1. With ternary u and s of
+  // expected Hamming weight 2N/3, each convolution term has canonical norm
+  // ~ tail * sigma * sqrt(N) * sqrt(h).
+  const double h = 2.0 * n / 3.0;
+  return tail * sigma * std::sqrt(n) * (2.0 * std::sqrt(h) + 1.0);
+}
+
+double fresh_precision_bound_bits(const CkksParams& params,
+                                  EncryptMode mode) {
+  const double bound =
+      slot_error_bound(fresh_noise_bound(params, mode), params.scale());
+  return -std::log2(bound);
+}
+
+double measured_slot_noise(const Ciphertext& ct, Decryptor& decryptor,
+                           const CkksEncoder& encoder,
+                           std::span<const std::complex<double>> reference) {
+  const Plaintext pt = decryptor.decrypt(ct);
+  const auto decoded = encoder.decode(pt);
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    max_err = std::max(max_err, std::abs(decoded[i] - reference[i]));
+  }
+  return max_err;
+}
+
+}  // namespace abc::ckks

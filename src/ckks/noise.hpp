@@ -1,0 +1,48 @@
+#pragma once
+
+/// @file noise.hpp
+/// Analytic noise estimation for the client-side CKKS operations, in the
+/// canonical-embedding norm. Fresh-encryption noise determines how much
+/// of the scale survives the round trip (the precision floor measured in
+/// Fig. 3c); the estimator's bounds are validated against measured noise
+/// in tests, so downstream users can size scales without trial runs.
+///
+/// Model (standard CKKS heuristics, high-probability bounds with the
+/// 6-sigma factor of the tail cut):
+///   fresh (pk):   ||e||_can <= 6*sigma*sqrt(N) * (sqrt(h) + sqrt(N) + 1)
+///   fresh (sym):  ||e||_can <= 6*sigma*sqrt(N)
+///   add:          e_a + e_b
+///   mul_plain:    ||pt||_inf * scale_pt * e_ct (relative growth)
+/// where h is the secret Hamming weight (N*2/3 expected for uniform
+/// ternary).
+
+#include <cstddef>
+
+#include "ckks/ciphertext.hpp"
+#include "ckks/context.hpp"
+#include "ckks/decryptor.hpp"
+#include "ckks/encoder.hpp"
+#include "ckks/encryptor.hpp"
+
+namespace abc::ckks {
+
+/// Analytic high-probability bound on the canonical-embedding noise of a
+/// fresh encryption, in absolute units (same units as scale * message).
+double fresh_noise_bound(const CkksParams& params, EncryptMode mode);
+
+/// Decoded-slot error bound implied by a noise bound at a given scale.
+inline double slot_error_bound(double noise_bound, double scale) {
+  return noise_bound / scale;
+}
+
+/// Bits of slot precision implied by the fresh-encryption bound:
+/// -log2(slot error).
+double fresh_precision_bound_bits(const CkksParams& params, EncryptMode mode);
+
+/// Measures the actual slot-domain noise of a ciphertext against the
+/// reference message: max |decode(decrypt(ct)) - reference|.
+double measured_slot_noise(const Ciphertext& ct, Decryptor& decryptor,
+                           const CkksEncoder& encoder,
+                           std::span<const std::complex<double>> reference);
+
+}  // namespace abc::ckks

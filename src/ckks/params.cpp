@@ -1,0 +1,63 @@
+#include "ckks/params.hpp"
+
+#include "common/check.hpp"
+
+namespace abc::ckks {
+
+int max_log_q_128bit(int log_n) {
+  // HE Security Standard (homomorphicencryption.org), classical 128-bit,
+  // uniform ternary secret.
+  switch (log_n) {
+    case 10: return 27;
+    case 11: return 54;
+    case 12: return 109;
+    case 13: return 218;
+    case 14: return 438;
+    case 15: return 881;
+    case 16: return 1772;
+    case 17: return 3576;
+    default: return 0;
+  }
+}
+
+CkksParams CkksParams::bootstrappable() {
+  CkksParams p;
+  p.log_n = 16;
+  p.prime_bits = 36;
+  p.num_limbs = 24;
+  p.scale_bits = 35;
+  return p;
+}
+
+CkksParams CkksParams::sweep_point(int log_n, std::size_t num_limbs) {
+  CkksParams p;
+  p.log_n = log_n;
+  p.num_limbs = num_limbs;
+  p.enforce_security = false;
+  return p;
+}
+
+CkksParams CkksParams::test_small(int log_n, std::size_t num_limbs) {
+  CkksParams p;
+  p.log_n = log_n;
+  p.num_limbs = num_limbs;
+  p.prime_bits = 36;
+  p.scale_bits = 30;
+  p.enforce_security = false;
+  return p;
+}
+
+void CkksParams::validate() const {
+  ABC_CHECK_ARG(log_n >= 4 && log_n <= 17, "log_n out of range");
+  ABC_CHECK_ARG(prime_bits >= 20 && prime_bits <= 60, "prime_bits out of range");
+  ABC_CHECK_ARG(num_limbs >= 1 && num_limbs <= 64, "num_limbs out of range");
+  ABC_CHECK_ARG(scale_bits >= 10 && scale_bits < prime_bits,
+                "scale must fit below one prime");
+  ABC_CHECK_ARG(error_sigma > 0, "sigma must be positive");
+  if (enforce_security) {
+    ABC_CHECK_ARG(log_q(num_limbs) <= max_log_q_128bit(log_n),
+                  "parameter set falls below 128-bit security");
+  }
+}
+
+}  // namespace abc::ckks

@@ -1,0 +1,55 @@
+#pragma once
+
+/// @file params.hpp
+/// CKKS client-side parameter sets. The paper's evaluation configuration
+/// (Sec. V-B): polynomial degree N = 2^16, 36-bit primes following the
+/// double-scale technique (12 levels doubled to 24 RNS limbs), fresh
+/// ciphertexts at 24 limbs, server-returned ciphertexts at 2 limbs,
+/// 128-bit security.
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace abc::ckks {
+
+struct CkksParams {
+  int log_n = 16;              // polynomial degree N = 2^log_n
+  int prime_bits = 36;         // RNS limb width (double-scale technique)
+  std::size_t num_limbs = 24;  // fresh-ciphertext limbs (12 levels x 2)
+  int scale_bits = 35;         // encoding scale Delta = 2^scale_bits
+  double error_sigma = 3.2;    // RLWE error std-dev (HE standard)
+  std::array<u8, 16> seed = {0x41, 0x42, 0x43, 0x2d, 0x46, 0x48, 0x45, 0x21,
+                             0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07};
+  bool enforce_security = true;
+
+  std::size_t n() const noexcept { return std::size_t{1} << log_n; }
+  std::size_t slots() const noexcept { return n() / 2; }
+  double scale() const noexcept {
+    return static_cast<double>(u64{1} << scale_bits);
+  }
+  /// Total modulus bits at a given level (limb count).
+  int log_q(std::size_t limbs) const noexcept {
+    return static_cast<int>(limbs) * prime_bits;
+  }
+
+  /// Paper evaluation setup: bootstrappable N=2^16, 24 limbs.
+  static CkksParams bootstrappable();
+  /// Degree sweep point (Fig. 6b): keeps limb structure, drops security
+  /// enforcement since small-N/full-depth points are performance-only.
+  static CkksParams sweep_point(int log_n, std::size_t num_limbs);
+  /// Small parameters for fast functional tests.
+  static CkksParams test_small(int log_n = 10, std::size_t num_limbs = 3);
+
+  /// Throws InvalidArgument when inconsistent (or insecure while
+  /// enforce_security is set).
+  void validate() const;
+};
+
+/// Maximum log2(Q) for 128-bit classical security with uniform ternary
+/// secrets (HE security standard tables).
+int max_log_q_128bit(int log_n);
+
+}  // namespace abc::ckks

@@ -1,0 +1,126 @@
+#include "ckks/serialize.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "ckks/keygen.hpp"
+#include "common/bitops.hpp"
+
+namespace abc::ckks {
+namespace {
+
+constexpr u32 kMagic = 0x41424346;  // "ABCF"
+
+}  // namespace
+
+void BitPacker::append(u64 value, int bits) {
+  ABC_CHECK_ARG(bits >= 1 && bits <= 57, "pack width out of range");
+  ABC_CHECK_ARG(bits == 64 || (value >> bits) == 0, "value exceeds width");
+  pending_ |= value << pending_bits_;
+  pending_bits_ += bits;
+  while (pending_bits_ >= 8) {
+    bytes_.push_back(static_cast<u8>(pending_));
+    pending_ >>= 8;
+    pending_bits_ -= 8;
+  }
+}
+
+std::vector<u8> BitPacker::finish() {
+  if (pending_bits_ > 0) {
+    bytes_.push_back(static_cast<u8>(pending_));
+    pending_ = 0;
+    pending_bits_ = 0;
+  }
+  return std::move(bytes_);
+}
+
+u64 BitUnpacker::read(int bits) {
+  ABC_CHECK_ARG(bits >= 1 && bits <= 57, "read width out of range");
+  u64 value = 0;
+  int got = 0;
+  while (got < bits) {
+    const std::size_t byte_index = bit_pos_ / 8;
+    ABC_CHECK_ARG(byte_index < bytes_.size(), "serialized buffer truncated");
+    const int bit_offset = static_cast<int>(bit_pos_ % 8);
+    const int take = std::min(8 - bit_offset, bits - got);
+    const u64 chunk = (static_cast<u64>(bytes_[byte_index]) >> bit_offset) &
+                      ((u64{1} << take) - 1);
+    value |= chunk << got;
+    got += take;
+    bit_pos_ += static_cast<std::size_t>(take);
+  }
+  return value;
+}
+
+std::vector<u8> serialize_ciphertext(const Ciphertext& ct,
+                                     int bits_per_coeff) {
+  ABC_CHECK_ARG(!ct.components.empty(), "empty ciphertext");
+  BitPacker packer;
+  packer.append(kMagic, 32);
+  packer.append(static_cast<u64>(bits_per_coeff), 8);
+  packer.append(ct.size(), 8);
+  packer.append(ct.limbs(), 16);
+  packer.append(static_cast<u64>(log2_exact(ct.c(0).n())), 8);
+  packer.append(ct.compressed_c1.has_value() ? 1 : 0, 8);
+  // Scale as raw IEEE-754 bits, split to respect the packer width cap.
+  const u64 scale_bits = std::bit_cast<u64>(ct.scale);
+  packer.append(scale_bits & 0xffffffffull, 32);
+  packer.append(scale_bits >> 32, 32);
+  if (ct.compressed_c1.has_value()) {
+    packer.append(ct.compressed_c1->stream_id & 0xffffffffull, 32);
+    packer.append(ct.compressed_c1->stream_id >> 32, 32);
+  }
+  for (std::size_t comp = 0; comp < ct.size(); ++comp) {
+    if (comp == 1 && ct.compressed_c1.has_value()) continue;  // regenerable
+    const poly::RnsPoly& p = ct.c(comp);
+    for (std::size_t l = 0; l < p.limbs(); ++l) {
+      for (u64 v : p.limb(l)) packer.append(v, bits_per_coeff);
+    }
+  }
+  return packer.finish();
+}
+
+Ciphertext deserialize_ciphertext(
+    const std::shared_ptr<const CkksContext>& ctx,
+    std::span<const u8> bytes) {
+  BitUnpacker unpacker(bytes);
+  ABC_CHECK_ARG(unpacker.read(32) == kMagic, "bad magic");
+  const int bits_per_coeff = static_cast<int>(unpacker.read(8));
+  const std::size_t components = unpacker.read(8);
+  const std::size_t limbs = unpacker.read(16);
+  const int log_n = static_cast<int>(unpacker.read(8));
+  const bool compressed = unpacker.read(8) != 0;
+  ABC_CHECK_ARG(log_n == ctx->params().log_n, "degree mismatch");
+  ABC_CHECK_ARG(limbs >= 1 && limbs <= ctx->max_limbs(), "limb mismatch");
+  ABC_CHECK_ARG(components == 2 || components == 3, "bad component count");
+  const u64 scale_lo = unpacker.read(32);
+  const u64 scale_hi = unpacker.read(32);
+  const double scale = std::bit_cast<double>(scale_lo | (scale_hi << 32));
+
+  Ciphertext ct;
+  ct.scale = scale;
+  u64 stream_id = 0;
+  if (compressed) {
+    stream_id = unpacker.read(32);
+    stream_id |= unpacker.read(32) << 32;
+    ct.compressed_c1 = CompressedComponent{stream_id};
+  }
+  for (std::size_t comp = 0; comp < components; ++comp) {
+    poly::RnsPoly p = ctx->make_poly(limbs, poly::Domain::kEval);
+    if (comp == 1 && compressed) {
+      fill_uniform_eval(*ctx, p, PrngDomain::kSymmetricA, stream_id);
+    } else {
+      for (std::size_t l = 0; l < limbs; ++l) {
+        const u64 q = ctx->poly_context()->modulus(l).value();
+        for (u64& v : p.limb(l)) {
+          v = unpacker.read(bits_per_coeff);
+          ABC_CHECK_ARG(v < q, "residue out of range (corrupt buffer?)");
+        }
+      }
+    }
+    ct.components.push_back(std::move(p));
+  }
+  return ct;
+}
+
+}  // namespace abc::ckks

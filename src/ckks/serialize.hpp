@@ -1,0 +1,53 @@
+#pragma once
+
+/// @file serialize.hpp
+/// Binary serialization of ciphertexts with coefficients packed at the
+/// datapath width (44 bits by default) — the same packing the accelerator
+/// streams to LPDDR5, so a serialized ciphertext's size equals the DRAM
+/// traffic the simulator accounts for. Seed-compressed ciphertexts ship
+/// only the stream id for c1 and regenerate it on load.
+
+#include <cstddef>
+#include <vector>
+
+#include "ckks/ciphertext.hpp"
+#include "ckks/context.hpp"
+
+namespace abc::ckks {
+
+/// Little-endian bit-level packer for fixed-width words.
+class BitPacker {
+ public:
+  void append(u64 value, int bits);
+  /// Flushes the partial byte and returns the buffer.
+  std::vector<u8> finish();
+
+ private:
+  std::vector<u8> bytes_;
+  u64 pending_ = 0;
+  int pending_bits_ = 0;
+};
+
+class BitUnpacker {
+ public:
+  explicit BitUnpacker(std::span<const u8> bytes) : bytes_(bytes) {}
+  u64 read(int bits);
+  std::size_t bits_consumed() const noexcept { return bit_pos_; }
+
+ private:
+  std::span<const u8> bytes_;
+  std::size_t bit_pos_ = 0;
+};
+
+/// Serializes a ciphertext at the given packed coefficient width. Throws
+/// if any residue does not fit the width.
+std::vector<u8> serialize_ciphertext(const Ciphertext& ct,
+                                     int bits_per_coeff = 44);
+
+/// Reconstructs a ciphertext; @p ctx must match the writer's parameters.
+/// A compressed c1 is regenerated from the context seed and stream id.
+Ciphertext deserialize_ciphertext(
+    const std::shared_ptr<const CkksContext>& ctx,
+    std::span<const u8> bytes);
+
+}  // namespace abc::ckks

@@ -1,0 +1,216 @@
+#include "common/bigint.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bitops.hpp"
+#include "common/check.hpp"
+
+namespace abc {
+
+BigUint::BigUint(u64 value) {
+  if (value != 0) words_.push_back(value);
+}
+
+BigUint BigUint::from_words(std::vector<u64> words) {
+  BigUint b;
+  b.words_ = std::move(words);
+  b.trim();
+  return b;
+}
+
+void BigUint::trim() {
+  while (!words_.empty() && words_.back() == 0) words_.pop_back();
+}
+
+int BigUint::bit_length() const noexcept {
+  if (words_.empty()) return 0;
+  return static_cast<int>(64 * (words_.size() - 1)) +
+         abc::bit_length(words_.back());
+}
+
+int BigUint::compare(const BigUint& other) const noexcept {
+  if (words_.size() != other.words_.size()) {
+    return words_.size() < other.words_.size() ? -1 : 1;
+  }
+  for (std::size_t i = words_.size(); i-- > 0;) {
+    if (words_[i] != other.words_[i]) return words_[i] < other.words_[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+BigUint& BigUint::add(const BigUint& other) {
+  const std::size_t n = std::max(words_.size(), other.words_.size());
+  words_.resize(n, 0);
+  u64 carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    u128 s = static_cast<u128>(words_[i]) + carry;
+    if (i < other.words_.size()) s += other.words_[i];
+    words_[i] = lo64(s);
+    carry = hi64(s);
+  }
+  if (carry != 0) words_.push_back(carry);
+  return *this;
+}
+
+BigUint& BigUint::sub(const BigUint& other) {
+  ABC_CHECK_ARG(compare(other) >= 0, "BigUint::sub would underflow");
+  u64 borrow = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    u128 rhs = borrow;
+    if (i < other.words_.size()) rhs += other.words_[i];
+    u128 lhs = words_[i];
+    if (lhs >= rhs) {
+      words_[i] = static_cast<u64>(lhs - rhs);
+      borrow = 0;
+    } else {
+      words_[i] = static_cast<u64>((u128{1} << 64) + lhs - rhs);
+      borrow = 1;
+    }
+  }
+  trim();
+  return *this;
+}
+
+BigUint& BigUint::mul_u64(u64 factor) {
+  if (factor == 0 || is_zero()) {
+    words_.clear();
+    return *this;
+  }
+  u64 carry = 0;
+  for (auto& w : words_) {
+    u128 p = mul_wide(w, factor) + carry;
+    w = lo64(p);
+    carry = hi64(p);
+  }
+  if (carry != 0) words_.push_back(carry);
+  return *this;
+}
+
+BigUint& BigUint::shift_left(int bits) {
+  ABC_CHECK_ARG(bits >= 0, "negative shift");
+  if (is_zero() || bits == 0) return *this;
+  const int word_shift = bits / 64;
+  const int bit_shift = bits % 64;
+  words_.insert(words_.begin(), static_cast<std::size_t>(word_shift), 0);
+  if (bit_shift != 0) {
+    u64 carry = 0;
+    for (std::size_t i = static_cast<std::size_t>(word_shift); i < words_.size();
+         ++i) {
+      u64 next_carry = words_[i] >> (64 - bit_shift);
+      words_[i] = (words_[i] << bit_shift) | carry;
+      carry = next_carry;
+    }
+    if (carry != 0) words_.push_back(carry);
+  }
+  return *this;
+}
+
+BigUint BigUint::operator+(const BigUint& other) const {
+  BigUint r = *this;
+  r.add(other);
+  return r;
+}
+
+BigUint BigUint::operator-(const BigUint& other) const {
+  BigUint r = *this;
+  r.sub(other);
+  return r;
+}
+
+BigUint BigUint::operator*(u64 factor) const {
+  BigUint r = *this;
+  r.mul_u64(factor);
+  return r;
+}
+
+BigUint BigUint::operator*(const BigUint& other) const {
+  if (is_zero() || other.is_zero()) return BigUint{};
+  std::vector<u64> acc(words_.size() + other.words_.size(), 0);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    u64 carry = 0;
+    for (std::size_t j = 0; j < other.words_.size(); ++j) {
+      u128 cur = static_cast<u128>(acc[i + j]) + mul_wide(words_[i], other.words_[j]) +
+                 carry;
+      acc[i + j] = lo64(cur);
+      carry = hi64(cur);
+    }
+    acc[i + other.words_.size()] += carry;
+  }
+  return from_words(std::move(acc));
+}
+
+u64 BigUint::mod_u64(u64 modulus) const noexcept {
+  u128 rem = 0;
+  for (std::size_t i = words_.size(); i-- > 0;) {
+    rem = ((rem << 64) | words_[i]) % modulus;
+  }
+  return static_cast<u64>(rem);
+}
+
+BigUint BigUint::mod(const BigUint& other) const {
+  ABC_CHECK_ARG(!other.is_zero(), "modulo by zero");
+  if (compare(other) < 0) return *this;
+  BigUint rem = *this;
+  int shift = rem.bit_length() - other.bit_length();
+  BigUint d = other;
+  d.shift_left(shift);
+  for (; shift >= 0; --shift) {
+    if (rem.compare(d) >= 0) rem.sub(d);
+    // Shift divisor right by one bit: rebuild cheaply.
+    if (shift > 0) {
+      BigUint next = other;
+      next.shift_left(shift - 1);
+      d = std::move(next);
+    }
+  }
+  return rem;
+}
+
+double BigUint::to_double() const noexcept {
+  double r = 0.0;
+  for (std::size_t i = words_.size(); i-- > 0;) {
+    r = r * 18446744073709551616.0 + static_cast<double>(words_[i]);
+  }
+  return r;
+}
+
+std::string BigUint::to_string() const {
+  if (is_zero()) return "0";
+  // Repeated division by 10^19 (largest power of ten below 2^64).
+  constexpr u64 kChunk = 10000000000000000000ull;
+  std::vector<u64> tmp = words_;
+  std::string out;
+  while (!tmp.empty()) {
+    u128 rem = 0;
+    for (std::size_t i = tmp.size(); i-- > 0;) {
+      u128 cur = (rem << 64) | tmp[i];
+      tmp[i] = static_cast<u64>(cur / kChunk);
+      rem = cur % kChunk;
+    }
+    while (!tmp.empty() && tmp.back() == 0) tmp.pop_back();
+    std::string part = std::to_string(static_cast<u64>(rem));
+    if (!tmp.empty()) part.insert(0, 19 - part.size(), '0');
+    out.insert(0, part);
+  }
+  return out;
+}
+
+double centered_to_double(const BigUint& value, const BigUint& q) {
+  BigUint half = q;
+  // half = floor(q / 2) via one-bit right shift emulated with words.
+  std::vector<u64> w = half.words();
+  u64 carry = 0;
+  for (std::size_t i = w.size(); i-- > 0;) {
+    u64 next_carry = w[i] & 1;
+    w[i] = (w[i] >> 1) | (carry << 63);
+    carry = next_carry;
+  }
+  half = BigUint::from_words(std::move(w));
+  if (value <= half) return value.to_double();
+  BigUint diff = q;
+  diff.sub(value);
+  return -diff.to_double();
+}
+
+}  // namespace abc

@@ -1,0 +1,77 @@
+#pragma once
+
+/// @file bigint.hpp
+/// Minimal arbitrary-precision unsigned integer used by the CRT "combine"
+/// step of CKKS decoding (paper Fig. 2a: INTT -> Combine CRT -> FFT).
+/// A fresh bootstrappable ciphertext has 24 limbs of 36 bits, so combined
+/// values reach ~864 bits; this class provides exactly the operations the
+/// CRT recomposition needs and nothing more.
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace abc {
+
+/// Unsigned big integer, little-endian base-2^64 words, canonical form
+/// (no trailing zero words; zero is the empty word vector).
+class BigUint {
+ public:
+  BigUint() = default;
+  explicit BigUint(u64 value);
+
+  static BigUint from_words(std::vector<u64> words);
+
+  bool is_zero() const noexcept { return words_.empty(); }
+  std::size_t word_count() const noexcept { return words_.size(); }
+  const std::vector<u64>& words() const noexcept { return words_; }
+
+  /// Number of significant bits (0 for zero).
+  int bit_length() const noexcept;
+
+  /// Comparison: negative/zero/positive like strcmp.
+  int compare(const BigUint& other) const noexcept;
+  bool operator==(const BigUint& other) const noexcept = default;
+  bool operator<(const BigUint& other) const noexcept {
+    return compare(other) < 0;
+  }
+  bool operator<=(const BigUint& other) const noexcept {
+    return compare(other) <= 0;
+  }
+
+  BigUint& add(const BigUint& other);
+  /// Subtracts @p other; requires *this >= other.
+  BigUint& sub(const BigUint& other);
+  BigUint& mul_u64(u64 factor);
+  BigUint& shift_left(int bits);
+
+  BigUint operator+(const BigUint& other) const;
+  BigUint operator-(const BigUint& other) const;
+  BigUint operator*(u64 factor) const;
+
+  /// Full product (schoolbook); sizes here are <= 14 words so O(n^2) is fine.
+  BigUint operator*(const BigUint& other) const;
+
+  /// Remainder of division by a 64-bit modulus.
+  u64 mod_u64(u64 modulus) const noexcept;
+
+  /// *this mod other (schoolbook long division by shifted subtraction).
+  BigUint mod(const BigUint& other) const;
+
+  /// Round-to-nearest conversion to double (used when decoding to floats).
+  double to_double() const noexcept;
+
+  /// Decimal string, for diagnostics.
+  std::string to_string() const;
+
+ private:
+  void trim();
+  std::vector<u64> words_;
+};
+
+/// Value of a CRT-combined residue centered into (-Q/2, Q/2], as a double.
+/// @p value is in [0, Q); the result is value - Q when value > Q/2.
+double centered_to_double(const BigUint& value, const BigUint& q);
+
+}  // namespace abc

@@ -1,0 +1,66 @@
+#pragma once
+
+/// @file bitops.hpp
+/// Bit-manipulation helpers shared by the NTT/FFT kernels, the prime search
+/// and the hardware design-space analyzer.
+
+#include <bit>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace abc {
+
+/// True iff @p x is a power of two (zero is not).
+constexpr bool is_power_of_two(u64 x) noexcept { return std::has_single_bit(x); }
+
+/// Exact log2 of a power of two.
+constexpr int log2_exact(u64 x) {
+  ABC_CHECK_ARG(is_power_of_two(x), "log2_exact requires a power of two");
+  return std::countr_zero(x);
+}
+
+/// Number of bits needed to represent @p x (0 -> 0).
+constexpr int bit_length(u64 x) noexcept { return 64 - std::countl_zero(x); }
+
+/// Reverse the low @p bits bits of @p x (the classic FFT index scramble).
+constexpr u64 bit_reverse(u64 x, int bits) noexcept {
+  u64 r = 0;
+  for (int i = 0; i < bits; ++i) {
+    r = (r << 1) | (x & 1);
+    x >>= 1;
+  }
+  return r;
+}
+
+/// Reverse-increment used by streaming bit-reversed counters: adds one to the
+/// bit-reversed representation of @p x over @p bits bits.
+constexpr u64 bit_reversed_increment(u64 x, int bits) noexcept {
+  u64 mask = u64{1} << (bits - 1);
+  while (mask != 0 && (x & mask) != 0) {
+    x ^= mask;
+    mask >>= 1;
+  }
+  return x | mask;
+}
+
+/// Population count of the signed-digit (non-adjacent form) representation of
+/// @p x: the minimum number of +/- power-of-two terms that sum to x.
+/// This is the "shift-and-add cost" of multiplying by x in hardware
+/// (paper Sec. IV-A, NTT-friendly Montgomery multiplier).
+constexpr int naf_weight(i128 x) noexcept {
+  int w = 0;
+  while (x != 0) {
+    if (x & 1) {
+      // Choose digit in {-1, +1} so the remaining value is divisible by 4,
+      // which yields the minimal-weight NAF.
+      const int digit = ((x & 3) == 1) ? 1 : -1;
+      x -= digit;
+      ++w;
+    }
+    x >>= 1;
+  }
+  return w;
+}
+
+}  // namespace abc

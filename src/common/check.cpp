@@ -1,0 +1,28 @@
+#include "common/check.hpp"
+
+#include <sstream>
+
+namespace abc::detail {
+namespace {
+
+std::string format(const char* kind, const char* expr, const std::string& msg,
+                   const std::source_location& loc) {
+  std::ostringstream os;
+  os << kind << ": " << msg << " [" << expr << "] at " << loc.file_name() << ":"
+     << loc.line();
+  return os.str();
+}
+
+}  // namespace
+
+void throw_invalid_argument(const char* expr, const std::string& msg,
+                            std::source_location loc) {
+  throw InvalidArgument(format("invalid argument", expr, msg, loc));
+}
+
+void throw_logic_error(const char* expr, const std::string& msg,
+                       std::source_location loc) {
+  throw LogicError(format("internal error", expr, msg, loc));
+}
+
+}  // namespace abc::detail

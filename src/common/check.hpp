@@ -1,0 +1,55 @@
+#pragma once
+
+/// @file check.hpp
+/// Argument validation and invariant checking.
+///
+/// Public API entry points validate their inputs with ABC_CHECK_ARG and
+/// throw abc::InvalidArgument; internal invariants use ABC_CHECK_STATE and
+/// throw abc::LogicError. Both carry a formatted message with the failing
+/// expression and source location.
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace abc {
+
+/// Thrown when a caller passes an invalid argument to a public API.
+class InvalidArgument : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when an internal invariant is violated (a library bug).
+class LogicError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+
+[[noreturn]] void throw_invalid_argument(const char* expr, const std::string& msg,
+                                         std::source_location loc);
+[[noreturn]] void throw_logic_error(const char* expr, const std::string& msg,
+                                    std::source_location loc);
+
+}  // namespace detail
+}  // namespace abc
+
+/// Validate a public-API argument; throws abc::InvalidArgument on failure.
+#define ABC_CHECK_ARG(cond, msg)                                        \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::abc::detail::throw_invalid_argument(#cond, (msg),               \
+                                            std::source_location::current()); \
+    }                                                                   \
+  } while (false)
+
+/// Validate an internal invariant; throws abc::LogicError on failure.
+#define ABC_CHECK_STATE(cond, msg)                                      \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::abc::detail::throw_logic_error(#cond, (msg),                    \
+                                       std::source_location::current()); \
+    }                                                                   \
+  } while (false)

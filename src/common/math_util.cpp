@@ -1,0 +1,97 @@
+#include "common/math_util.hpp"
+
+#include <array>
+
+namespace abc {
+
+u64 pow_mod_u64(u64 a, u64 e, u64 m) noexcept {
+  if (m == 1) return 0;
+  u64 base = a % m;
+  u64 result = 1;
+  while (e != 0) {
+    if (e & 1) result = mul_mod_u64(result, base, m);
+    base = mul_mod_u64(base, base, m);
+    e >>= 1;
+  }
+  return result;
+}
+
+u64 gcd_u64(u64 a, u64 b) noexcept {
+  while (b != 0) {
+    u64 t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+EgcdResult egcd_i128(i128 a, i128 b) noexcept {
+  i128 old_r = a, r = b;
+  i128 old_x = 1, x = 0;
+  i128 old_y = 0, y = 1;
+  while (r != 0) {
+    i128 q = old_r / r;
+    i128 t = old_r - q * r;
+    old_r = r;
+    r = t;
+    t = old_x - q * x;
+    old_x = x;
+    x = t;
+    t = old_y - q * y;
+    old_y = y;
+    y = t;
+  }
+  return {old_r, old_x, old_y};
+}
+
+std::optional<u64> inverse_mod_u64(u64 a, u64 m) noexcept {
+  if (m == 0) return std::nullopt;
+  EgcdResult e = egcd_i128(static_cast<i128>(a % m), static_cast<i128>(m));
+  if (e.g != 1) return std::nullopt;
+  i128 x = e.x % static_cast<i128>(m);
+  if (x < 0) x += static_cast<i128>(m);
+  return static_cast<u64>(x);
+}
+
+u64 inverse_mod_pow2(u64 a, int bits) noexcept {
+  // Hensel lifting: x_{k+1} = x_k * (2 - a * x_k) doubles correct bits.
+  u64 x = 1;  // correct mod 2 because a is odd
+  for (int correct = 1; correct < bits; correct *= 2) {
+    x = x * (2 - a * x);  // wrap-around arithmetic mod 2^64 is intended
+  }
+  if (bits < 64) x &= (u64{1} << bits) - 1;
+  return x;
+}
+
+bool is_prime_u64(u64 n) noexcept {
+  if (n < 2) return false;
+  for (u64 p : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull, 17ull, 19ull, 23ull,
+                29ull, 31ull, 37ull}) {
+    if (n % p == 0) return n == p;
+  }
+  u64 d = n - 1;
+  int s = 0;
+  while ((d & 1) == 0) {
+    d >>= 1;
+    ++s;
+  }
+  // These witnesses are deterministic for all n < 2^64 (Sorenson & Webster).
+  constexpr std::array<u64, 12> witnesses = {2,  3,  5,  7,  11, 13,
+                                             17, 19, 23, 29, 31, 37};
+  for (u64 a : witnesses) {
+    u64 x = pow_mod_u64(a % n, d, n);
+    if (x == 1 || x == n - 1) continue;
+    bool composite = true;
+    for (int i = 1; i < s; ++i) {
+      x = mul_mod_u64(x, x, n);
+      if (x == n - 1) {
+        composite = false;
+        break;
+      }
+    }
+    if (composite) return false;
+  }
+  return true;
+}
+
+}  // namespace abc

@@ -1,0 +1,54 @@
+#pragma once
+
+/// @file math_util.hpp
+/// Number-theoretic primitives: modular exponentiation/inverse, extended
+/// Euclid, and a deterministic 64-bit Miller-Rabin primality test. These back
+/// the NTT-friendly prime search (paper Sec. IV-A) and the RNS/CRT machinery.
+
+#include <optional>
+
+#include "common/types.hpp"
+
+namespace abc {
+
+/// (a + b) mod m, assuming a, b < m < 2^63.
+constexpr u64 add_mod_u64(u64 a, u64 b, u64 m) noexcept {
+  u64 s = a + b;
+  return (s >= m) ? s - m : s;
+}
+
+/// (a - b) mod m, assuming a, b < m.
+constexpr u64 sub_mod_u64(u64 a, u64 b, u64 m) noexcept {
+  return (a >= b) ? a - b : a + m - b;
+}
+
+/// (a * b) mod m via 128-bit product; works for any m < 2^64.
+constexpr u64 mul_mod_u64(u64 a, u64 b, u64 m) noexcept {
+  return static_cast<u64>(mul_wide(a, b) % m);
+}
+
+/// a^e mod m (square-and-multiply); m < 2^64.
+u64 pow_mod_u64(u64 a, u64 e, u64 m) noexcept;
+
+/// Greatest common divisor.
+u64 gcd_u64(u64 a, u64 b) noexcept;
+
+/// Extended Euclid: returns (g, x, y) with a*x + b*y = g = gcd(a, b).
+struct EgcdResult {
+  i128 g;
+  i128 x;
+  i128 y;
+};
+EgcdResult egcd_i128(i128 a, i128 b) noexcept;
+
+/// Modular inverse of a mod m, or nullopt if gcd(a, m) != 1.
+std::optional<u64> inverse_mod_u64(u64 a, u64 m) noexcept;
+
+/// Inverse of odd @p a modulo 2^bits (bits <= 64), computed by Newton
+/// (Hensel) lifting; this is the exact QInv of the Montgomery algorithm.
+u64 inverse_mod_pow2(u64 a, int bits) noexcept;
+
+/// Deterministic Miller-Rabin for 64-bit integers.
+bool is_prime_u64(u64 n) noexcept;
+
+}  // namespace abc

@@ -1,0 +1,31 @@
+#pragma once
+
+/// @file stats.hpp
+/// Streaming statistics used by precision measurements (Fig. 3c) and the
+/// benchmark harnesses.
+
+#include <cstddef>
+
+namespace abc {
+
+/// Welford-style running mean/variance plus min/max.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace abc

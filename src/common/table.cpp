@@ -1,0 +1,70 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace abc {
+
+void TextTable::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TextTable::fmt_eng(double v, int precision) {
+  char buf[64];
+  if (v != 0.0 && (std::abs(v) >= 1e6 || std::abs(v) < 1e-3)) {
+    std::snprintf(buf, sizeof(buf), "%.*e", precision, v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision + 3, v);
+  }
+  return buf;
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths;
+  auto update = [&](const std::vector<std::string>& row) {
+    if (widths.size() < row.size()) widths.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  update(header_);
+  for (const auto& r : rows_) update(r);
+
+  std::ostringstream os;
+  os << "== " << title_ << " ==\n";
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      os << row[i];
+      if (i + 1 < row.size()) {
+        os << std::string(widths[i] - row[i].size() + 2, ' ');
+      }
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    std::vector<std::string> rule;
+    rule.reserve(header_.size());
+    for (std::size_t i = 0; i < header_.size(); ++i) {
+      rule.emplace_back(std::string(widths[i], '-'));
+    }
+    emit(rule);
+  }
+  for (const auto& r : rows_) emit(r);
+  return os.str();
+}
+
+void TextTable::print() const { std::fputs(render().c_str(), stdout); }
+
+}  // namespace abc

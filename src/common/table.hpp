@@ -1,0 +1,39 @@
+#pragma once
+
+/// @file table.hpp
+/// Plain-text table rendering used by every bench binary to print the
+/// reproduced paper tables/figures in a uniform format.
+
+#include <string>
+#include <vector>
+
+namespace abc {
+
+/// Column-aligned ASCII table with a title line, e.g.
+///
+///   == Table I: Area of modular multiplier ==
+///   Algorithm                 Area (um^2)   Stages
+///   ------------------------  -----------   ------
+///   Vanilla Barrett                 35054        4
+class TextTable {
+ public:
+  explicit TextTable(std::string title) : title_(std::move(title)) {}
+
+  void set_header(std::vector<std::string> header);
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string fmt(double v, int precision = 3);
+  /// Scientific-style formatting for wide-range values (times, speedups).
+  static std::string fmt_eng(double v, int precision = 3);
+
+  std::string render() const;
+  void print() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace abc

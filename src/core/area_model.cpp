@@ -1,0 +1,138 @@
+#include "core/area_model.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "transform/twiddle.hpp"
+
+namespace abc::core {
+namespace {
+
+/// Reference sparse NTT prime for multiplier sizing.
+constexpr u64 kRefPrime = (u64{1} << 36) - (u64{1} << 18) + 1;
+
+double nttf_mult_area(const ArchConfig& cfg, const TechConstants& tc) {
+  rns::NttFriendlyMontgomeryHwModMul mm(kRefPrime, cfg.int_bits);
+  return modmul_area_um2(mm.cost(cfg.int_bits), tc);
+}
+
+}  // namespace
+
+double AreaPowerBreakdown::total_area_mm2() const {
+  double a = 0;
+  for (const auto& e : entries) {
+    if (e.counted_in_total) a += e.area_mm2;
+  }
+  return a;
+}
+
+double AreaPowerBreakdown::total_power_w() const {
+  double p = 0;
+  for (const auto& e : entries) {
+    if (e.counted_in_total) p += e.power_w;
+  }
+  return p;
+}
+
+const AreaPowerEntry& AreaPowerBreakdown::find(const std::string& name) const {
+  for (const auto& e : entries) {
+    if (e.name == name) return e;
+  }
+  ABC_CHECK_ARG(false, "no breakdown entry named " + name);
+  // Unreachable.
+  static AreaPowerEntry dummy;
+  return dummy;
+}
+
+double pnl_area_mm2(const ArchConfig& cfg, const TechConstants& tc) {
+  // Multipliers: the merged-twiddle minimum P/2 * log2(N) instances, each
+  // an NTT-friendly Montgomery multiplier widened for FP55 mantissa mode
+  // (the reconfigurability of Sec. IV-A).
+  const double mult_count =
+      (static_cast<double>(cfg.lanes) / 2.0) * cfg.log_n;
+  const double mult_um2 =
+      mult_count * nttf_mult_area(cfg, tc) * tc.fp_reconfig_overhead;
+
+  // Butterfly add/sub pairs at FP width.
+  const double adder_um2 = mult_count * 2.0 * cfg.fp_bits *
+                           tc.shift_add_um2_per_bit * tc.fp_reconfig_overhead;
+
+  // MDC commutator FIFOs: ~N words total, double-buffered (paper Sec. V-A),
+  // at the wider FP55 word.
+  const double fifo_bits = 2.0 * static_cast<double>(cfg.n()) * cfg.fp_bits;
+  const double fifo_um2 = fifo_bits * tc.sram_sp_um2_per_bit;
+
+  return (mult_um2 + adder_um2 + fifo_um2) * tc.block_misc_overhead / 1e6;
+}
+
+double tf_gen_area_mm2(const ArchConfig& cfg, const TechConstants& tc) {
+  // One generator multiplier per pipeline stage column, shared across the
+  // PNLs of an RSC (time-multiplexed seed * step chains).
+  const double mult_count =
+      (static_cast<double>(cfg.lanes) / 2.0) * cfg.log_n;
+  return mult_count * nttf_mult_area(cfg, tc) * tc.block_misc_overhead / 1e6;
+}
+
+double mse_area_mm2(const ArchConfig& cfg, const TechConstants& tc) {
+  // mse_width parallel modular multiply-accumulate lanes plus the CRT /
+  // RNS-expansion datapath (reduction + correction per lane).
+  rns::NttFriendlyMontgomeryHwModMul mm(kRefPrime, cfg.int_bits);
+  const double lane_um2 =
+      modmul_area_um2(mm.cost(cfg.int_bits), tc) +
+      2.0 * 2.0 * cfg.int_bits * tc.shift_add_um2_per_bit +
+      2.0 * cfg.int_bits * tc.reg_um2_per_bit;
+  return cfg.mse_width * lane_um2 * tc.block_misc_overhead / 1e6;
+}
+
+AreaPowerBreakdown abc_fhe_breakdown(const ArchConfig& cfg,
+                                     const TechConstants& tc) {
+  AreaPowerBreakdown bd;
+  auto logic = [&](const std::string& name, double area_mm2, double density,
+                   bool counted = false) {
+    bd.entries.push_back({name, area_mm2, area_mm2 * density, counted});
+  };
+
+  const double pnl = pnl_area_mm2(cfg, tc);
+  logic("4x PNL", pnl * cfg.pnl_per_rsc, tc.logic_power_density);
+  logic("Unified OTF TF Gen", tf_gen_area_mm2(cfg, tc),
+        tc.logic_power_density);
+
+  xf::TwiddleSeedMemoryModel seeds{.log_n = cfg.log_n,
+                                   .num_primes =
+                                       static_cast<int>(cfg.fresh_limbs),
+                                   .int_bits = cfg.int_bits,
+                                   .fp_bits = cfg.fp_bits};
+  const double seed_mm2 =
+      seeds.total_seed_bytes() * 8.0 * tc.sram_seed_um2_per_bit / 1e6;
+  logic("Twiddle Factor Seed Memory", seed_mm2, tc.sram_power_density);
+
+  logic("MSE", mse_area_mm2(cfg, tc), tc.mse_power_density);
+
+  // ChaCha20-class PRNG core (constant-size block cipher datapath).
+  logic("PRNG", 0.069, tc.prng_power_density);
+
+  const double local_mm2 = static_cast<double>(cfg.local_scratch_bytes) * 8.0 *
+                           tc.sram_sp_um2_per_bit / 1e6;
+  logic("Local Scratchpad", local_mm2, tc.sram_power_density);
+
+  // Everything above composes one RSC.
+  double rsc_area = 0, rsc_power = 0;
+  for (const auto& e : bd.entries) {
+    rsc_area += e.area_mm2;
+    rsc_power += e.power_w;
+  }
+  bd.entries.push_back({"RSC", rsc_area, rsc_power, false});
+  bd.entries.push_back({std::to_string(cfg.num_rsc) + "x RSC",
+                        rsc_area * cfg.num_rsc, rsc_power * cfg.num_rsc,
+                        true});
+
+  const double global_mm2 = static_cast<double>(cfg.global_scratch_bytes) *
+                            8.0 * tc.sram_db_um2_per_bit / 1e6;
+  logic("Global Scratchpad", global_mm2, tc.sram_power_density,
+        /*counted=*/true);
+  logic("Top CTRL, DMA, Etc.", 0.060, 0.85, /*counted=*/true);
+
+  return bd;
+}
+
+}  // namespace abc::core

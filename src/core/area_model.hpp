@@ -1,0 +1,47 @@
+#pragma once
+
+/// @file area_model.hpp
+/// Bottom-up area and power composition of the ABC-FHE chip (paper
+/// Table II): PNLs (multipliers + butterfly adders + MDC FIFOs), unified
+/// OTF TF Gen, TF seed memory, MSE, PRNG, scratchpads, top control.
+
+#include <string>
+#include <vector>
+
+#include "core/arch_config.hpp"
+#include "core/hw_units.hpp"
+
+namespace abc::core {
+
+struct AreaPowerEntry {
+  std::string name;
+  double area_mm2 = 0;
+  double power_w = 0;
+  /// Table II lists per-RSC components and then the RSC subtotals; only
+  /// chip-level rows contribute to the total.
+  bool counted_in_total = false;
+};
+
+struct AreaPowerBreakdown {
+  std::vector<AreaPowerEntry> entries;
+
+  double total_area_mm2() const;
+  double total_power_w() const;
+  const AreaPowerEntry& find(const std::string& name) const;
+};
+
+/// Composes the full chip (Table II rows) for the given configuration.
+AreaPowerBreakdown abc_fhe_breakdown(const ArchConfig& cfg,
+                                     const TechConstants& tc);
+
+/// Area of one PNL (P-lane MDC pipeline with reconfigurable multipliers,
+/// butterfly adders and double-buffered FIFOs).
+double pnl_area_mm2(const ArchConfig& cfg, const TechConstants& tc);
+
+/// Area of the unified OTF twiddle-factor generator shared by the PNLs.
+double tf_gen_area_mm2(const ArchConfig& cfg, const TechConstants& tc);
+
+/// Area of the modular streaming engine.
+double mse_area_mm2(const ArchConfig& cfg, const TechConstants& tc);
+
+}  // namespace abc::core

@@ -1,0 +1,158 @@
+#include "core/design_space.hpp"
+
+#include <numeric>
+
+#include "common/check.hpp"
+
+namespace abc::core {
+namespace {
+
+/// Per-radix overhead weights: extra multiplier fraction (relative to the
+/// merged minimum) contributed by stages implemented at each radix.
+/// Calibrated to the paper's NTT reductions: radix-2 +42.2% (-29.7% the
+/// other way), radix-2^2 +28.7% (-22.3%). FFT overheads are smaller since
+/// trivial rotations (+/-1, +/-j) cost nothing in complex arithmetic.
+double stage_overhead(TransformKind kind, int log_radix) {
+  if (kind == TransformKind::kNtt) {
+    switch (log_radix) {
+      case 1: return 0.422;
+      case 2: return 0.287;
+      case 3: return 0.335;
+      default: return 0.45;
+    }
+  }
+  switch (log_radix) {
+    case 1: return 0.331;
+    case 2: return 0.146;
+    case 3: return 0.221;
+    default: return 0.36;
+  }
+}
+
+}  // namespace
+
+int RadixConfig::total_stages() const {
+  return std::accumulate(group_log_radix.begin(), group_log_radix.end(), 0);
+}
+
+RadixConfig radix2_config(int log_n) {
+  return {std::vector<int>(static_cast<std::size_t>(log_n), 1), false};
+}
+
+RadixConfig radix4_config(int log_n) {
+  RadixConfig c;
+  int left = log_n;
+  while (left >= 2) {
+    c.group_log_radix.push_back(2);
+    left -= 2;
+  }
+  if (left > 0) c.group_log_radix.push_back(left);
+  return c;
+}
+
+RadixConfig radix8_config(int log_n) {
+  RadixConfig c;
+  int left = log_n;
+  while (left >= 3) {
+    c.group_log_radix.push_back(3);
+    left -= 3;
+  }
+  if (left > 0) c.group_log_radix.push_back(left);
+  return c;
+}
+
+RadixConfig radix2n_config(int log_n) {
+  // The paper's merged design: mixed radix chosen so the nega-cyclic
+  // twiddle pattern stays consistent; modelled as the zero-overhead point.
+  RadixConfig c = radix4_config(log_n);
+  c.merged_negacyclic = true;
+  return c;
+}
+
+double multiplier_instances(const RadixConfig& config, TransformKind kind,
+                            int log_n, int lanes) {
+  ABC_CHECK_ARG(config.total_stages() == log_n,
+                "radix config does not cover log2(N) stages");
+  ABC_CHECK_ARG(lanes >= 2, "need at least two lanes");
+  const double base = (static_cast<double>(lanes) / 2.0) * log_n;
+  if (config.merged_negacyclic) return base;
+  double overhead = 0.0;
+  for (int k : config.group_log_radix) {
+    overhead += stage_overhead(kind, k) * static_cast<double>(k) / log_n;
+  }
+  return base * (1.0 + overhead);
+}
+
+std::vector<RadixConfig> enumerate_radix_configs(int log_n, int max_part) {
+  ABC_CHECK_ARG(log_n >= 1 && log_n <= 24, "log_n out of range");
+  ABC_CHECK_ARG(max_part >= 1 && max_part <= 4, "max_part out of range");
+  std::vector<RadixConfig> out;
+  std::vector<int> current;
+  // Depth-first enumeration of compositions.
+  auto recurse = [&](auto&& self, int left) -> void {
+    if (left == 0) {
+      out.push_back({current, false});
+      return;
+    }
+    for (int part = 1; part <= std::min(max_part, left); ++part) {
+      current.push_back(part);
+      self(self, left - part);
+      current.pop_back();
+    }
+  };
+  recurse(recurse, log_n);
+  return out;
+}
+
+RfeAreaLadder rfe_area_ladder(const ArchConfig& cfg, const TechConstants& tc) {
+  constexpr u64 kRefPrime = (u64{1} << 36) - (u64{1} << 18) + 1;
+  rns::MontgomeryHwModMul vanilla(kRefPrime, cfg.int_bits);
+  rns::NttFriendlyMontgomeryHwModMul friendly(kRefPrime, cfg.int_bits);
+  const double vanilla_um2 = modmul_area_um2(vanilla.cost(cfg.int_bits), tc);
+  const double friendly_um2 = modmul_area_um2(friendly.cost(cfg.int_bits), tc);
+
+  const double fifo_int_mm2 = 2.0 * static_cast<double>(cfg.n()) *
+                              cfg.int_bits * tc.sram_sp_um2_per_bit / 1e6;
+  const double fifo_fp_mm2 = 2.0 * static_cast<double>(cfg.n()) * cfg.fp_bits *
+                             tc.sram_sp_um2_per_bit / 1e6;
+
+  const double mults_r2 = multiplier_instances(radix2_config(cfg.log_n),
+                                               TransformKind::kNtt, cfg.log_n,
+                                               cfg.lanes);
+  const double mults_r2n = multiplier_instances(radix2n_config(cfg.log_n),
+                                                TransformKind::kNtt, cfg.log_n,
+                                                cfg.lanes);
+
+  // Complex FP multiplier = four real multipliers of the mantissa width
+  // (paper eq. 12); modelled as 4x the friendly multiplier footprint.
+  const double fp_mult_um2 = 4.0 * friendly_um2;
+
+  auto engine_mm2 = [&](double ntt_mults, double ntt_mult_um2,
+                        bool separate_fft) {
+    const double pnl_count = cfg.pnl_per_rsc;
+    const double ntt_engine =
+        (ntt_mults * ntt_mult_um2 / 1e6 + fifo_int_mm2) * pnl_count;
+    if (!separate_fft) return ntt_engine;
+    // Dedicated FFT engine producing one FFT stream (one PNL-equivalent).
+    const double fft_engine = ntt_mults / 4.0 * fp_mult_um2 / 1e6 + fifo_fp_mm2;
+    return ntt_engine + fft_engine;
+  };
+
+  RfeAreaLadder ladder;
+  ladder.baseline_mm2 =
+      engine_mm2(mults_r2, vanilla_um2, /*separate_fft=*/true) *
+      tc.block_misc_overhead;
+  ladder.tf_scheduling_mm2 =
+      engine_mm2(mults_r2n, vanilla_um2, true) * tc.block_misc_overhead;
+  ladder.montmul_mm2 =
+      engine_mm2(mults_r2n, friendly_um2, true) * tc.block_misc_overhead;
+  // Reconfigurable: one engine serves both; multipliers widened for FP55,
+  // FIFOs at the FP word width.
+  ladder.reconfigurable_mm2 =
+      (mults_r2n * friendly_um2 * tc.fp_reconfig_overhead / 1e6 +
+       fifo_fp_mm2) *
+      cfg.pnl_per_rsc * tc.block_misc_overhead;
+  return ladder;
+}
+
+}  // namespace abc::core

@@ -1,0 +1,68 @@
+#pragma once
+
+/// @file design_space.hpp
+/// Design-space analysis of the reconfigurable Fourier engine:
+///
+///  * Fig. 4(b): multiplier counts across radix configurations of the
+///    P-parallel pipelined NTT/FFT. Only the mixed radix-2^n decomposition
+///    keeps the merged nega-cyclic twiddle pattern consistent across
+///    stages (paper Sec. IV-A); every other configuration pays extra
+///    pre-/post-processing and boundary multipliers.
+///  * Fig. 6(a): RFE area ladder — baseline (radix-2, separate NTT/FFT
+///    engines, vanilla Montgomery) -> +twiddle-factor scheduling ->
+///    +NTT-friendly Montgomery -> fully reconfigurable shared engine.
+///
+/// Counting model: the merged minimum is (P/2) * log2(N) multiplier
+/// instances (paper's theoretical bound). Non-2^n configurations add
+/// lane-wise pre-/post-twist multipliers and per-group boundary
+/// corrections; the per-radix overhead weights are calibrated to the
+/// paper's reported reductions (29.7% vs radix-2, 22.3% vs radix-2^2 for
+/// NTT) since the paper does not give its exact counting formula. The
+/// *ordering* and the enumeration are structural, not fitted.
+
+#include <vector>
+
+#include "core/arch_config.hpp"
+#include "core/hw_units.hpp"
+
+namespace abc::core {
+
+enum class TransformKind { kNtt, kFft };
+
+/// A pipelined design: log2-radix of each stage group; entries sum to
+/// log2(N). {1,1,...}=radix-2, {2,2,...}=radix-2^2, mixed = radix-2^n.
+struct RadixConfig {
+  std::vector<int> group_log_radix;
+  bool merged_negacyclic = false;  // pattern-consistent radix-2^n design
+
+  int total_stages() const;
+};
+
+/// Named canonical designs.
+RadixConfig radix2_config(int log_n);
+RadixConfig radix4_config(int log_n);
+RadixConfig radix8_config(int log_n);
+RadixConfig radix2n_config(int log_n);  // the paper's merged design
+
+/// Multiplier instances for a P-lane pipelined implementation.
+double multiplier_instances(const RadixConfig& config, TransformKind kind,
+                            int log_n, int lanes);
+
+/// All compositions of log_n into parts of size 1..max_part (the design
+/// space enumerated for the Fig. 4b histogram).
+std::vector<RadixConfig> enumerate_radix_configs(int log_n, int max_part = 3);
+
+/// Fig. 6(a) ladder: relative RFE area after each optimization.
+struct RfeAreaLadder {
+  double baseline_mm2 = 0;        // radix-2, separate NTT+FFT, vanilla MM
+  double tf_scheduling_mm2 = 0;   // + merged twiddle scheduling (radix-2^n)
+  double montmul_mm2 = 0;         // + NTT-friendly Montgomery multiplier
+  double reconfigurable_mm2 = 0;  // + shared NTT/FFT engine
+  double total_reduction() const {
+    return 1.0 - reconfigurable_mm2 / baseline_mm2;
+  }
+};
+
+RfeAreaLadder rfe_area_ladder(const ArchConfig& cfg, const TechConstants& tc);
+
+}  // namespace abc::core

@@ -1,0 +1,90 @@
+#include "core/hw_units.hpp"
+
+#include <array>
+
+#include "common/check.hpp"
+
+namespace abc::core {
+namespace {
+
+/// Structural terms of one modular multiplier: (mult bit^2, shift-add
+/// bits, register bits).
+struct Terms {
+  double mult_bits2 = 0;
+  double shift_bits = 0;
+  double reg_bits = 0;
+};
+
+Terms terms_of(const rns::ModMulCost& cost) {
+  Terms t;
+  for (const auto& m : cost.multipliers) {
+    t.mult_bits2 += static_cast<double>(m.width_a) * m.width_b;
+  }
+  t.shift_bits =
+      static_cast<double>(cost.shift_add_terms) * cost.shift_add_width;
+  // Pipeline registers hold the double-width intermediate per stage; the
+  // final correction adders are lumped into the register/mux term.
+  t.reg_bits = static_cast<double>(cost.pipeline_stages) * cost.shift_add_width;
+  if (t.reg_bits == 0) {
+    t.reg_bits = static_cast<double>(cost.pipeline_stages) * 2.0 * 44.0;
+  }
+  return t;
+}
+
+}  // namespace
+
+double modmul_area_um2(const rns::ModMulCost& cost, const TechConstants& tc) {
+  const Terms t = terms_of(cost);
+  return t.mult_bits2 * tc.mult_um2_per_bit2 +
+         t.shift_bits * tc.shift_add_um2_per_bit +
+         t.reg_bits * tc.reg_um2_per_bit;
+}
+
+TechConstants calibrate_28nm(u64 reference_prime, int datapath_bits,
+                             const TableITargets& targets) {
+  rns::BarrettHwModMul barrett(reference_prime);
+  rns::MontgomeryHwModMul mont(reference_prime, datapath_bits);
+  rns::NttFriendlyMontgomeryHwModMul nttf(reference_prime, datapath_bits);
+
+  const Terms tb = terms_of(barrett.cost(datapath_bits));
+  const Terms tm = terms_of(mont.cost(datapath_bits));
+  const Terms tf = terms_of(nttf.cost(datapath_bits));
+
+  // Solve the 3x3 linear system A * [kappa, beta, gamma]^T = targets.
+  const std::array<std::array<double, 3>, 3> a = {{
+      {tb.mult_bits2, tb.shift_bits, tb.reg_bits},
+      {tm.mult_bits2, tm.shift_bits, tm.reg_bits},
+      {tf.mult_bits2, tf.shift_bits, tf.reg_bits},
+  }};
+  const std::array<double, 3> b = {targets.barrett,
+                                   targets.vanilla_montgomery,
+                                   targets.ntt_friendly_montgomery};
+
+  // Cramer's rule.
+  auto det3 = [](const std::array<std::array<double, 3>, 3>& m) {
+    return m[0][0] * (m[1][1] * m[2][2] - m[1][2] * m[2][1]) -
+           m[0][1] * (m[1][0] * m[2][2] - m[1][2] * m[2][0]) +
+           m[0][2] * (m[1][0] * m[2][1] - m[1][1] * m[2][0]);
+  };
+  const double det = det3(a);
+  ABC_CHECK_STATE(std::abs(det) > 1e-6, "Table I calibration is singular");
+  std::array<double, 3> solution{};
+  for (int col = 0; col < 3; ++col) {
+    auto m = a;
+    for (int row = 0; row < 3; ++row) {
+      m[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)] =
+          b[static_cast<std::size_t>(row)];
+    }
+    solution[static_cast<std::size_t>(col)] = det3(m) / det;
+  }
+  ABC_CHECK_STATE(solution[0] > 0 && solution[1] > 0 && solution[2] > 0,
+                  "Table I calibration produced non-physical constants");
+
+  TechConstants tc;
+  tc.mult_um2_per_bit2 = solution[0];
+  tc.shift_add_um2_per_bit = solution[1];
+  tc.reg_um2_per_bit = solution[2];
+  return tc;
+}
+
+}  // namespace abc::core

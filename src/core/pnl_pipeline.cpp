@@ -1,0 +1,78 @@
+#include "core/pnl_pipeline.hpp"
+
+namespace abc::core {
+namespace {
+
+/// Shared driver: feeds the natural-order input through the stage chain,
+/// computing each stage's window twiddle from its own push counter. The
+/// outputs of stage s form the CT intermediate array in natural order, so
+/// the final stream equals the (bit-reversed-order) result array of the
+/// reference in-place transform.
+template <class Elem, class Arith, class TwiddleAt>
+PipelineRun run_pipeline(int log_n, std::span<const Elem> input,
+                         std::span<Elem> output, Arith arith,
+                         TwiddleAt&& twiddle_at) {
+  const std::size_t n = std::size_t{1} << log_n;
+  ABC_CHECK_ARG(input.size() == n && output.size() == n, "size mismatch");
+
+  std::vector<SdfStage<Elem, Arith>> stages;
+  std::vector<std::size_t> pushes(static_cast<std::size_t>(log_n), 0);
+  PipelineRun run;
+  for (int s = 0; s < log_n; ++s) {
+    const std::size_t t = n >> (s + 1);
+    stages.emplace_back(t, arith);
+    run.fifo_words += t;
+  }
+
+  std::size_t produced = 0;
+  std::size_t cycle = 0;
+  const Elem bubble = input[0];
+  while (produced < n) {
+    // Feed the first stage (bubbles after the real input drains).
+    std::optional<Elem> token =
+        cycle < n ? std::optional<Elem>(input[cycle]) : bubble;
+    for (int s = 0; s < log_n && token.has_value(); ++s) {
+      const std::size_t t = n >> (s + 1);
+      const std::size_t m = std::size_t{1} << s;
+      const std::size_t window = pushes[static_cast<std::size_t>(s)] / (2 * t);
+      ++pushes[static_cast<std::size_t>(s)];
+      const Elem w = twiddle_at(m, window);
+      token = stages[static_cast<std::size_t>(s)].push(*token, w);
+    }
+    if (token.has_value()) {
+      if (produced == 0) run.fill_latency = cycle;
+      output[produced++] = *token;
+    }
+    ++cycle;
+  }
+  run.cycles = cycle;
+  return run;
+}
+
+}  // namespace
+
+PipelineRun streaming_ntt(const xf::NttTables& tables,
+                          std::span<const u64> input, std::span<u64> output) {
+  ModularArith arith{tables.modulus()};
+  return run_pipeline<u64>(
+      tables.log_n(), input, output, arith,
+      [&](std::size_t m, std::size_t window) {
+        // Window i of the stage with m blocks uses psi^brv(m + i); clamp
+        // into range for the bubble region after the real data drains.
+        const std::size_t i = std::min(window, m - 1);
+        return tables.psi_rev(m + i);
+      });
+}
+
+PipelineRun streaming_dwt(const xf::CkksDwtPlan& plan,
+                          std::span<const xf::Cx<double>> input,
+                          std::span<xf::Cx<double>> output) {
+  return run_pipeline<xf::Cx<double>>(
+      plan.log_n(), input, output, ComplexArith{},
+      [&](std::size_t m, std::size_t window) {
+        const std::size_t i = std::min(window, m - 1);
+        return plan.psi_rev(m + i);
+      });
+}
+
+}  // namespace abc::core

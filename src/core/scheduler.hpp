@@ -1,0 +1,60 @@
+#pragma once
+
+/// @file scheduler.hpp
+/// Task scheduling for the ABC-FHE streaming architecture: decomposes
+/// client-side jobs into the pass DAG executed by the StreamSimulator.
+///
+/// Encode+Encrypt (paper Fig. 2a, left):
+///   DMA-in message -> IFFT (PNL) -> per limb: RNS expand (MSE) ->
+///   k x NTT (PNL, k from the encryption profile) -> mask*PK + error (MSE)
+///   -> DMA-out ciphertext limb.
+/// Decode+Decrypt (Fig. 2a, right):
+///   DMA-in ciphertext -> per limb: c0 + c1*s (MSE) -> INTT (PNL) ->
+///   CRT combine (MSE) -> FFT (PNL) -> DMA-out message.
+///
+/// The three operating modes of the two RSCs (Sec. III) map to which cores
+/// jobs are placed on: dual-encrypt, dual-decrypt, or concurrent
+/// encrypt+decrypt.
+
+#include <vector>
+
+#include "core/arch_config.hpp"
+#include "core/stream_sim.hpp"
+
+namespace abc::core {
+
+enum class OperatingMode {
+  kDualEncrypt,   // both RSCs encrypt (2x throughput)
+  kDualDecrypt,   // both RSCs decrypt
+  kConcurrent,    // RSC0 encrypts while RSC1 decrypts
+};
+
+class JobScheduler {
+ public:
+  explicit JobScheduler(const ArchConfig& config);
+
+  /// Appends the pass DAG of one encode+encrypt job on core @p rsc.
+  void add_encode_encrypt(std::vector<Pass>& passes, int rsc,
+                          std::size_t job_id) const;
+
+  /// Appends the pass DAG of one decode+decrypt job on core @p rsc.
+  void add_decode_decrypt(std::vector<Pass>& passes, int rsc,
+                          std::size_t job_id) const;
+
+  /// Builds a batch: @p jobs total, distributed per the operating mode.
+  std::vector<Pass> build(OperatingMode mode, int jobs) const;
+
+ private:
+  double transform_fill() const noexcept {
+    // MDC pipeline registers; the N/P FIFO fill overlaps input streaming.
+    return 2.0 * static_cast<double>(cfg_.log_n);
+  }
+  double twiddle_read_per_elem(bool fft) const noexcept {
+    if (cfg_.placement.twiddles_on_chip) return 0.0;
+    return cfg_.twiddle_bytes_per_cycle(fft) / static_cast<double>(cfg_.lanes);
+  }
+
+  const ArchConfig cfg_;
+};
+
+}  // namespace abc::core

@@ -1,0 +1,35 @@
+#include "core/simulator.hpp"
+
+namespace abc::core {
+
+AbcFheSimulator::AbcFheSimulator(const ArchConfig& config)
+    : cfg_(config),
+      scheduler_(config),
+      engine_(config.num_rsc, config.pnl_per_rsc, /*dma_ports=*/2,
+              config.dram_bytes_per_cycle()) {
+  cfg_.validate();
+}
+
+AcceleratorReport AbcFheSimulator::run(OperatingMode mode, int jobs) const {
+  const std::vector<Pass> passes = scheduler_.build(mode, jobs);
+  AcceleratorReport rep;
+  rep.sim = engine_.run(passes);
+  rep.jobs = jobs;
+  rep.latency_ms = rep.sim.milliseconds(cfg_.clock_hz);
+  rep.per_job_ms = rep.latency_ms / jobs;
+  rep.throughput_per_s =
+      jobs / rep.sim.seconds(cfg_.clock_hz);
+  rep.dram_read_mb = rep.sim.dram_read_bytes / (1024.0 * 1024.0);
+  rep.dram_write_mb = rep.sim.dram_write_bytes / (1024.0 * 1024.0);
+  const double pnl_slots =
+      static_cast<double>(cfg_.num_rsc) * cfg_.pnl_per_rsc;
+  rep.pnl_utilization =
+      rep.sim.unit_busy_cycles[static_cast<std::size_t>(UnitKind::kPnl)] /
+      (pnl_slots * rep.sim.total_cycles);
+  rep.mse_utilization =
+      rep.sim.unit_busy_cycles[static_cast<std::size_t>(UnitKind::kMse)] /
+      (static_cast<double>(cfg_.num_rsc) * rep.sim.total_cycles);
+  return rep;
+}
+
+}  // namespace abc::core

@@ -1,0 +1,57 @@
+#pragma once
+
+/// @file simulator.hpp
+/// Top-level facade of the ABC-FHE cycle-level simulator: runs client-side
+/// jobs through the streaming pass model and reports latency, throughput
+/// and memory traffic — the quantities behind the paper's Fig. 5 and
+/// Fig. 6(b).
+
+#include "core/arch_config.hpp"
+#include "core/scheduler.hpp"
+#include "core/stream_sim.hpp"
+
+namespace abc::core {
+
+/// Latency/throughput summary for a batch run.
+struct AcceleratorReport {
+  SimReport sim;
+  int jobs = 0;
+  double latency_ms = 0;         // makespan of the batch
+  double per_job_ms = 0;         // makespan / jobs
+  double throughput_per_s = 0;   // jobs per second at this batch size
+  double dram_read_mb = 0;
+  double dram_write_mb = 0;
+  double pnl_utilization = 0;    // busy-cycles / (slots * makespan)
+  double mse_utilization = 0;
+};
+
+class AbcFheSimulator {
+ public:
+  explicit AbcFheSimulator(const ArchConfig& config);
+
+  const ArchConfig& config() const noexcept { return cfg_; }
+
+  /// Single-job latency (one RSC active) or batched throughput runs.
+  AcceleratorReport run(OperatingMode mode, int jobs) const;
+
+  /// Convenience accessors for the common measurements.
+  double encode_encrypt_ms() const {
+    return run(OperatingMode::kDualEncrypt, 1).latency_ms;
+  }
+  double decode_decrypt_ms() const {
+    return run(OperatingMode::kDualDecrypt, 1).latency_ms;
+  }
+  /// Sustained ciphertexts/second in dual-encrypt mode (paper Fig. 5b).
+  double encode_encrypt_throughput() const {
+    // Large enough batch to amortize ramp-up.
+    const int batch = 8 * cfg_.num_rsc;
+    return run(OperatingMode::kDualEncrypt, batch).throughput_per_s;
+  }
+
+ private:
+  ArchConfig cfg_;
+  JobScheduler scheduler_;
+  StreamSimulator engine_;
+};
+
+}  // namespace abc::core

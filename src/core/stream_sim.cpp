@@ -1,0 +1,194 @@
+#include "core/stream_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace abc::core {
+namespace {
+
+constexpr double kEps = 1e-9;
+
+struct Running {
+  std::size_t pass_index;
+  double fill_left;
+  double elems_left;
+  double rate = 0;  // current throttled rate, elems/cycle
+};
+
+}  // namespace
+
+StreamSimulator::StreamSimulator(int num_rsc, int pnl_per_rsc, int dma_ports,
+                                 double dram_bytes_per_cycle)
+    : num_rsc_(num_rsc),
+      pnl_per_rsc_(pnl_per_rsc),
+      dma_ports_(dma_ports),
+      dram_budget_(dram_bytes_per_cycle) {
+  ABC_CHECK_ARG(num_rsc >= 1, "need at least one RSC");
+  ABC_CHECK_ARG(pnl_per_rsc >= 1, "need at least one PNL");
+  ABC_CHECK_ARG(dma_ports >= 1, "need at least one DMA port");
+  ABC_CHECK_ARG(dram_bytes_per_cycle > 0, "DRAM budget must be positive");
+}
+
+SimReport StreamSimulator::run(const std::vector<Pass>& passes) const {
+  const std::size_t count = passes.size();
+  SimReport report;
+  report.passes.resize(count);
+  report.unit_busy_cycles.assign(
+      static_cast<std::size_t>(UnitKind::kUnitCount), 0.0);
+  if (count == 0) return report;
+
+  for (const Pass& p : passes) {
+    ABC_CHECK_ARG(p.elems >= 0 && p.unit_rate > 0, "malformed pass: " + p.label);
+    ABC_CHECK_ARG(p.rsc >= 0 && p.rsc < num_rsc_, "bad RSC id: " + p.label);
+    for (std::size_t d : p.deps) {
+      ABC_CHECK_ARG(d < count, "dangling dependency: " + p.label);
+    }
+  }
+
+  // Free slots per (kind, rsc). DMA pools are global (indexed rsc 0).
+  auto pool_size = [&](UnitKind kind) {
+    switch (kind) {
+      case UnitKind::kPnl: return pnl_per_rsc_;
+      case UnitKind::kMse: return 1;
+      case UnitKind::kDmaIn:
+      case UnitKind::kDmaOut: return dma_ports_;
+      default: return 0;
+    }
+  };
+  auto pool_rsc = [&](const Pass& p) {
+    return (p.unit == UnitKind::kDmaIn || p.unit == UnitKind::kDmaOut)
+               ? 0
+               : p.rsc;
+  };
+  std::vector<std::vector<int>> free_slots(
+      static_cast<std::size_t>(UnitKind::kUnitCount),
+      std::vector<int>(static_cast<std::size_t>(num_rsc_), 0));
+  for (int k = 0; k < static_cast<int>(UnitKind::kUnitCount); ++k) {
+    for (int r = 0; r < num_rsc_; ++r) {
+      free_slots[static_cast<std::size_t>(k)][static_cast<std::size_t>(r)] =
+          pool_size(static_cast<UnitKind>(k));
+    }
+  }
+
+  std::vector<int> deps_left(count, 0);
+  std::vector<std::vector<std::size_t>> dependents(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    deps_left[i] = static_cast<int>(passes[i].deps.size());
+    for (std::size_t d : passes[i].deps) dependents[d].push_back(i);
+  }
+
+  std::vector<std::size_t> ready;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (deps_left[i] == 0) ready.push_back(i);
+  }
+
+  std::vector<Running> running;
+  std::size_t finished = 0;
+  double now = 0.0;
+  double throttle_weighted = 0.0;
+
+  auto try_start = [&]() {
+    // FIFO admission keeps the schedule deterministic.
+    std::size_t kept = 0;
+    for (std::size_t idx = 0; idx < ready.size(); ++idx) {
+      const std::size_t pi = ready[idx];
+      const Pass& p = passes[pi];
+      int& slots = free_slots[static_cast<std::size_t>(p.unit)]
+                             [static_cast<std::size_t>(pool_rsc(p))];
+      if (slots > 0) {
+        --slots;
+        running.push_back(Running{pi, p.fill_latency, p.elems});
+        report.passes[pi].start_cycle = now;
+      } else {
+        ready[kept++] = pi;
+      }
+    }
+    ready.resize(kept);
+  };
+
+  auto recompute_rates = [&]() -> double {
+    // Demand-proportional throttling: all passes ask for their full rate;
+    // if total DRAM demand exceeds the budget, scale every DRAM consumer
+    // by budget/demand (fair arbitration).
+    double demand = 0.0;
+    for (const Running& r : running) {
+      if (r.fill_left > kEps || r.elems_left <= kEps) continue;
+      const Pass& p = passes[r.pass_index];
+      demand += p.unit_rate *
+                (p.dram_read_bytes_per_elem + p.dram_write_bytes_per_elem);
+    }
+    const double factor = demand > dram_budget_ ? dram_budget_ / demand : 1.0;
+    for (Running& r : running) {
+      const Pass& p = passes[r.pass_index];
+      const bool uses_dram =
+          p.dram_read_bytes_per_elem + p.dram_write_bytes_per_elem > 0;
+      r.rate = p.unit_rate * (uses_dram ? factor : 1.0);
+    }
+    return factor;
+  };
+
+  while (finished < count) {
+    try_start();
+    ABC_CHECK_STATE(!running.empty(),
+                    "deadlock: no runnable passes (cyclic dependencies?)");
+    const double factor = recompute_rates();
+
+    // Earliest completion among running passes.
+    double dt = std::numeric_limits<double>::infinity();
+    for (const Running& r : running) {
+      double t;
+      if (r.fill_left > kEps) {
+        t = r.fill_left;
+      } else {
+        t = r.elems_left / r.rate;
+      }
+      dt = std::min(dt, t);
+    }
+    ABC_CHECK_STATE(std::isfinite(dt), "no progress possible");
+    dt = std::max(dt, kEps);
+
+    // Integrate progress over dt.
+    throttle_weighted += factor * dt;
+    for (Running& r : running) {
+      const Pass& p = passes[r.pass_index];
+      if (r.fill_left > kEps) {
+        const double consumed = std::min(r.fill_left, dt);
+        r.fill_left -= consumed;
+        report.unit_busy_cycles[static_cast<std::size_t>(p.unit)] += consumed;
+        continue;
+      }
+      const double done = std::min(r.elems_left, r.rate * dt);
+      r.elems_left -= done;
+      report.unit_busy_cycles[static_cast<std::size_t>(p.unit)] += dt;
+      report.dram_read_bytes += done * p.dram_read_bytes_per_elem;
+      report.dram_write_bytes += done * p.dram_write_bytes_per_elem;
+    }
+    now += dt;
+
+    // Retire completed passes.
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < running.size(); ++i) {
+      Running& r = running[i];
+      const Pass& p = passes[r.pass_index];
+      if (r.fill_left <= kEps && r.elems_left <= kEps) {
+        report.passes[r.pass_index].end_cycle = now;
+        ++free_slots[static_cast<std::size_t>(p.unit)]
+                    [static_cast<std::size_t>(pool_rsc(p))];
+        ++finished;
+        for (std::size_t dep : dependents[r.pass_index]) {
+          if (--deps_left[dep] == 0) ready.push_back(dep);
+        }
+      } else {
+        running[kept++] = r;
+      }
+    }
+    running.resize(kept);
+  }
+
+  report.total_cycles = now;
+  report.dram_throughput_factor = now > 0 ? throttle_weighted / now : 1.0;
+  return report;
+}
+
+}  // namespace abc::core

@@ -1,0 +1,44 @@
+#include "core/tech_scale.hpp"
+
+namespace abc::core {
+
+double area_scale_vs_28nm(TechNode node) {
+  // Realistic (DeepScaleTool-style) density gains; ideal shrink would be
+  // (28/node)^2, actual gains fall short at FinFET nodes for SRAM-heavy
+  // designs like ABC-FHE.
+  switch (node) {
+    case TechNode::k28: return 1.0;
+    case TechNode::k22: return 1.6;
+    case TechNode::k16: return 2.9;
+    case TechNode::k12: return 4.3;
+    case TechNode::k10: return 5.7;
+    case TechNode::k7: return 9.7;
+    case TechNode::k5: return 15.3;
+  }
+  ABC_CHECK_ARG(false, "unknown node");
+  return 1.0;
+}
+
+double power_scale_vs_28nm(TechNode node) {
+  switch (node) {
+    case TechNode::k28: return 1.0;
+    case TechNode::k22: return 1.25;
+    case TechNode::k16: return 1.7;
+    case TechNode::k12: return 2.0;
+    case TechNode::k10: return 2.3;
+    case TechNode::k7: return 2.75;
+    case TechNode::k5: return 3.4;
+  }
+  ABC_CHECK_ARG(false, "unknown node");
+  return 1.0;
+}
+
+double scale_area_mm2(double area_mm2_at_28nm, TechNode node) {
+  return area_mm2_at_28nm / area_scale_vs_28nm(node);
+}
+
+double scale_power_w(double power_w_at_28nm, TechNode node) {
+  return power_w_at_28nm / power_scale_vs_28nm(node);
+}
+
+}  // namespace abc::core

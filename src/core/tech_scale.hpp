@@ -1,0 +1,33 @@
+#pragma once
+
+/// @file tech_scale.hpp
+/// Technology-node scaling in the style of DeepScaleTool [31]: published
+/// logic-density and power ratios between planar/FinFET nodes, used for
+/// the paper's "0.9 mm^2 / 2.1 W at 7 nm" projection of ABC-FHE.
+
+#include "common/check.hpp"
+
+namespace abc::core {
+
+/// Known process nodes (feature size in nm).
+enum class TechNode : int {
+  k28 = 28,
+  k22 = 22,
+  k16 = 16,
+  k12 = 12,
+  k10 = 10,
+  k7 = 7,
+  k5 = 5,
+};
+
+/// Area density improvement relative to 28 nm (x smaller area).
+double area_scale_vs_28nm(TechNode node);
+
+/// Power reduction relative to 28 nm at iso-frequency (x lower power).
+double power_scale_vs_28nm(TechNode node);
+
+/// Scales a 28 nm figure to the given node.
+double scale_area_mm2(double area_mm2_at_28nm, TechNode node);
+double scale_power_w(double power_w_at_28nm, TechNode node);
+
+}  // namespace abc::core

@@ -1,0 +1,16 @@
+#include "poly/poly_context.hpp"
+
+#include "common/check.hpp"
+
+namespace abc::poly {
+
+PolyContext::PolyContext(int log_n, const std::vector<u64>& primes)
+    : log_n_(log_n), n_(std::size_t{1} << log_n), basis_(primes) {
+  ABC_CHECK_ARG(log_n >= 2 && log_n <= 17, "log_n out of range");
+  ntt_.reserve(primes.size());
+  for (std::size_t i = 0; i < basis_.size(); ++i) {
+    ntt_.emplace_back(basis_.modulus(i), log_n);
+  }
+}
+
+}  // namespace abc::poly

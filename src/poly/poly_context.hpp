@@ -1,0 +1,43 @@
+#pragma once
+
+/// @file poly_context.hpp
+/// Shared immutable context for RNS polynomials: the prime basis plus one
+/// NTT table per prime. Built once per parameter set and shared by all
+/// polynomials through a shared_ptr.
+
+#include <memory>
+#include <vector>
+
+#include "rns/rns_basis.hpp"
+#include "transform/ntt.hpp"
+
+namespace abc::poly {
+
+class PolyContext {
+ public:
+  /// Builds NTT tables for degree 2^log_n over every prime in @p primes.
+  PolyContext(int log_n, const std::vector<u64>& primes);
+
+  static std::shared_ptr<const PolyContext> create(
+      int log_n, const std::vector<u64>& primes) {
+    return std::make_shared<const PolyContext>(log_n, primes);
+  }
+
+  int log_n() const noexcept { return log_n_; }
+  std::size_t n() const noexcept { return n_; }
+  std::size_t max_limbs() const noexcept { return basis_.size(); }
+
+  const rns::RnsBasis& basis() const noexcept { return basis_; }
+  const rns::Modulus& modulus(std::size_t limb) const {
+    return basis_.modulus(limb);
+  }
+  const xf::NttTables& ntt(std::size_t limb) const { return ntt_.at(limb); }
+
+ private:
+  int log_n_;
+  std::size_t n_;
+  rns::RnsBasis basis_;
+  std::vector<xf::NttTables> ntt_;
+};
+
+}  // namespace abc::poly

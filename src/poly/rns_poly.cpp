@@ -1,0 +1,156 @@
+#include "poly/rns_poly.hpp"
+
+#include "common/check.hpp"
+#include "transform/op_counter.hpp"
+
+namespace abc::poly {
+
+RnsPoly::RnsPoly(std::shared_ptr<const PolyContext> ctx, std::size_t limbs,
+                 Domain domain)
+    : ctx_(std::move(ctx)), limbs_(limbs), domain_(domain) {
+  ABC_CHECK_ARG(ctx_ != nullptr, "null context");
+  ABC_CHECK_ARG(limbs >= 1 && limbs <= ctx_->max_limbs(),
+                "limb count out of range");
+  data_.assign(limbs_ * ctx_->n(), 0);
+}
+
+std::span<u64> RnsPoly::limb(std::size_t i) {
+  ABC_CHECK_ARG(i < limbs_, "limb index out of range");
+  return std::span<u64>(data_).subspan(i * n(), n());
+}
+
+std::span<const u64> RnsPoly::limb(std::size_t i) const {
+  ABC_CHECK_ARG(i < limbs_, "limb index out of range");
+  return std::span<const u64>(data_).subspan(i * n(), n());
+}
+
+void RnsPoly::to_eval() {
+  ABC_CHECK_STATE(domain_ == Domain::kCoeff, "already in evaluation domain");
+  for (std::size_t i = 0; i < limbs_; ++i) ctx_->ntt(i).forward(limb(i));
+  domain_ = Domain::kEval;
+}
+
+void RnsPoly::to_coeff() {
+  ABC_CHECK_STATE(domain_ == Domain::kEval, "already in coefficient domain");
+  for (std::size_t i = 0; i < limbs_; ++i) ctx_->ntt(i).inverse(limb(i));
+  domain_ = Domain::kCoeff;
+}
+
+void RnsPoly::set_zero() { std::fill(data_.begin(), data_.end(), 0); }
+
+void RnsPoly::set_from_signed(std::span<const i64> coeffs) {
+  ABC_CHECK_ARG(coeffs.size() == n(), "coefficient count mismatch");
+  for (std::size_t i = 0; i < limbs_; ++i) {
+    const rns::Modulus& q = ctx_->modulus(i);
+    std::span<u64> dst = limb(i);
+    for (std::size_t j = 0; j < coeffs.size(); ++j) {
+      dst[j] = q.from_signed(coeffs[j]);
+    }
+  }
+  xf::op_counts().other += limbs_ * n();  // RNS expansion work
+}
+
+void RnsPoly::set_from_signed_i32(std::span<const i32> coeffs) {
+  ABC_CHECK_ARG(coeffs.size() == n(), "coefficient count mismatch");
+  for (std::size_t i = 0; i < limbs_; ++i) {
+    const rns::Modulus& q = ctx_->modulus(i);
+    std::span<u64> dst = limb(i);
+    for (std::size_t j = 0; j < coeffs.size(); ++j) {
+      dst[j] = q.from_signed(coeffs[j]);
+    }
+  }
+  xf::op_counts().other += limbs_ * n();
+}
+
+void RnsPoly::check_compatible(const RnsPoly& other) const {
+  ABC_CHECK_ARG(ctx_.get() == other.ctx_.get(), "context mismatch");
+  ABC_CHECK_ARG(limbs_ == other.limbs_, "limb count mismatch");
+  ABC_CHECK_ARG(domain_ == other.domain_, "domain mismatch");
+}
+
+void RnsPoly::add_inplace(const RnsPoly& other) {
+  check_compatible(other);
+  for (std::size_t i = 0; i < limbs_; ++i) {
+    const rns::Modulus& q = ctx_->modulus(i);
+    std::span<u64> dst = limb(i);
+    std::span<const u64> src = other.limb(i);
+    for (std::size_t j = 0; j < dst.size(); ++j) dst[j] = q.add(dst[j], src[j]);
+  }
+  xf::op_counts().poly_add += limbs_ * n();
+}
+
+void RnsPoly::sub_inplace(const RnsPoly& other) {
+  check_compatible(other);
+  for (std::size_t i = 0; i < limbs_; ++i) {
+    const rns::Modulus& q = ctx_->modulus(i);
+    std::span<u64> dst = limb(i);
+    std::span<const u64> src = other.limb(i);
+    for (std::size_t j = 0; j < dst.size(); ++j) dst[j] = q.sub(dst[j], src[j]);
+  }
+  xf::op_counts().poly_add += limbs_ * n();
+}
+
+void RnsPoly::negate_inplace() {
+  for (std::size_t i = 0; i < limbs_; ++i) {
+    const rns::Modulus& q = ctx_->modulus(i);
+    for (u64& v : limb(i)) v = q.negate(v);
+  }
+  xf::op_counts().poly_add += limbs_ * n();
+}
+
+void RnsPoly::mul_inplace(const RnsPoly& other) {
+  check_compatible(other);
+  ABC_CHECK_ARG(domain_ == Domain::kEval,
+                "dyadic product requires evaluation domain");
+  for (std::size_t i = 0; i < limbs_; ++i) {
+    const rns::Modulus& q = ctx_->modulus(i);
+    std::span<u64> dst = limb(i);
+    std::span<const u64> src = other.limb(i);
+    for (std::size_t j = 0; j < dst.size(); ++j) dst[j] = q.mul(dst[j], src[j]);
+  }
+  xf::op_counts().poly_mul += limbs_ * n();
+}
+
+void RnsPoly::fma_inplace(const RnsPoly& a, const RnsPoly& b) {
+  check_compatible(a);
+  check_compatible(b);
+  ABC_CHECK_ARG(domain_ == Domain::kEval,
+                "fused multiply-add requires evaluation domain");
+  for (std::size_t i = 0; i < limbs_; ++i) {
+    const rns::Modulus& q = ctx_->modulus(i);
+    std::span<u64> dst = limb(i);
+    std::span<const u64> sa = a.limb(i);
+    std::span<const u64> sb = b.limb(i);
+    for (std::size_t j = 0; j < dst.size(); ++j) {
+      dst[j] = q.add(dst[j], q.mul(sa[j], sb[j]));
+    }
+  }
+  xf::op_counts().poly_mul += limbs_ * n();
+  xf::op_counts().poly_add += limbs_ * n();
+}
+
+void RnsPoly::mul_scalar_inplace(u64 scalar) {
+  for (std::size_t i = 0; i < limbs_; ++i) {
+    const rns::Modulus& q = ctx_->modulus(i);
+    const u64 s = q.reduce(scalar);
+    for (u64& v : limb(i)) v = q.mul(v, s);
+  }
+  xf::op_counts().poly_mul += limbs_ * n();
+}
+
+void RnsPoly::drop_last_limb() {
+  ABC_CHECK_STATE(limbs_ >= 2, "cannot drop the only limb");
+  --limbs_;
+  data_.resize(limbs_ * n());
+}
+
+RnsPoly RnsPoly::prefix_copy(std::size_t limbs) const {
+  ABC_CHECK_ARG(limbs >= 1 && limbs <= limbs_, "prefix limb count invalid");
+  RnsPoly out(ctx_, limbs, domain_);
+  std::copy(data_.begin(),
+            data_.begin() + static_cast<std::ptrdiff_t>(limbs * n()),
+            out.data_.begin());
+  return out;
+}
+
+}  // namespace abc::poly

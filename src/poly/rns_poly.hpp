@@ -1,0 +1,79 @@
+#pragma once
+
+/// @file rns_poly.hpp
+/// Polynomial in R_Q = Z_Q[X]/(X^N + 1) stored limb-wise in the RNS, with a
+/// domain tag distinguishing coefficient form from NTT (evaluation) form.
+/// Element-wise operations are only legal between polynomials in the same
+/// domain at the same level; the class enforces that at runtime.
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "poly/poly_context.hpp"
+
+namespace abc::poly {
+
+enum class Domain {
+  kCoeff,  // coefficient representation
+  kEval,   // NTT / evaluation representation (bit-reversed order)
+};
+
+class RnsPoly {
+ public:
+  RnsPoly(std::shared_ptr<const PolyContext> ctx, std::size_t limbs,
+          Domain domain);
+
+  const PolyContext& context() const noexcept { return *ctx_; }
+  std::shared_ptr<const PolyContext> context_ptr() const noexcept {
+    return ctx_;
+  }
+  std::size_t n() const noexcept { return ctx_->n(); }
+  std::size_t limbs() const noexcept { return limbs_; }
+  Domain domain() const noexcept { return domain_; }
+
+  std::span<u64> limb(std::size_t i);
+  std::span<const u64> limb(std::size_t i) const;
+
+  /// Size in bytes at a given packed word width (for DRAM traffic models).
+  double packed_bytes(int bits_per_coeff) const noexcept {
+    return static_cast<double>(limbs_ * n()) * bits_per_coeff / 8.0;
+  }
+
+  // -- domain conversion ---------------------------------------------------
+  void to_eval();   // forward NTT on every limb
+  void to_coeff();  // inverse NTT on every limb
+
+  // -- initialization ------------------------------------------------------
+  void set_zero();
+  /// RNS-expand centered signed coefficients into every limb ("Expand RNS").
+  void set_from_signed(std::span<const i64> coeffs);
+  void set_from_signed_i32(std::span<const i32> coeffs);
+
+  // -- element-wise arithmetic (same domain, same limbs) --------------------
+  void add_inplace(const RnsPoly& other);
+  void sub_inplace(const RnsPoly& other);
+  void negate_inplace();
+  /// Dyadic product; requires evaluation domain.
+  void mul_inplace(const RnsPoly& other);
+  /// this += a * b (single pass, evaluation domain).
+  void fma_inplace(const RnsPoly& a, const RnsPoly& b);
+  /// Multiply limb i by scalar mod q_i (same scalar reduced per limb).
+  void mul_scalar_inplace(u64 scalar);
+
+  /// Drop the last limb (rescale bookkeeping; data is truncated).
+  void drop_last_limb();
+
+  /// Deep copy with fewer limbs (prefix).
+  RnsPoly prefix_copy(std::size_t limbs) const;
+
+ private:
+  void check_compatible(const RnsPoly& other) const;
+
+  std::shared_ptr<const PolyContext> ctx_;
+  std::size_t limbs_;
+  Domain domain_;
+  std::vector<u64> data_;  // limbs_ * n contiguous, limb-major
+};
+
+}  // namespace abc::poly

@@ -1,0 +1,51 @@
+#pragma once
+
+/// @file chacha20.hpp
+/// ChaCha20 stream generator (RFC 8439 block function).
+///
+/// ABC-FHE keeps only a 128-bit seed on-chip and expands all masks, errors
+/// and key material with a PRNG (paper Sec. IV-B). We model that PRNG with
+/// ChaCha20: the 128-bit seed is expanded into the 256-bit ChaCha key by
+/// concatenating it with its byte-wise complement, and independent streams
+/// (mask / error / key, per limb) are separated through the nonce words.
+
+#include <array>
+#include <span>
+
+#include "common/types.hpp"
+
+namespace abc::prng {
+
+/// Raw ChaCha20 block function: fills 64 bytes of keystream for a given
+/// (key, counter, nonce) triple. Exposed for test vectors.
+void chacha20_block(const std::array<u32, 8>& key, u32 counter,
+                    const std::array<u32, 3>& nonce, std::span<u8, 64> out);
+
+/// Buffered ChaCha20 keystream with 64-bit convenience reads.
+class ChaCha20 {
+ public:
+  /// 128-bit seed + 96-bit stream selector.
+  ChaCha20(const std::array<u8, 16>& seed, u64 stream_id, u32 domain = 0);
+
+  void fill_bytes(std::span<u8> out);
+  u64 next_u64();
+  u32 next_u32();
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  double next_double();
+
+  /// Number of keystream blocks generated so far (for cost accounting).
+  u64 blocks_generated() const noexcept { return blocks_; }
+
+ private:
+  void refill();
+
+  std::array<u32, 8> key_{};
+  std::array<u32, 3> nonce_{};
+  u32 counter_ = 0;
+  std::array<u8, 64> buffer_{};
+  std::size_t pos_ = 64;  // empty
+  u64 blocks_ = 0;
+};
+
+}  // namespace abc::prng

@@ -1,0 +1,92 @@
+#include "prng/samplers.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace abc::prng {
+
+UniformModSampler::UniformModSampler(u64 modulus) : modulus_(modulus) {
+  ABC_CHECK_ARG(modulus >= 2, "modulus must be >= 2");
+  // reject_bound = floor(2^64 / q) * q, i.e. wrap-free region.
+  const u64 quotient = (~u64{0}) / modulus;  // floor((2^64 - 1) / q)
+  reject_bound_ = quotient * modulus;
+  // If q divides 2^64 exactly this under-counts by one block, which only
+  // tightens the bound; correctness is unaffected.
+}
+
+u64 UniformModSampler::sample(ChaCha20& rng) const {
+  for (;;) {
+    const u64 r = rng.next_u64();
+    if (r < reject_bound_) return r % modulus_;
+  }
+}
+
+void UniformModSampler::sample_many(ChaCha20& rng, std::span<u64> out) const {
+  for (u64& v : out) v = sample(rng);
+}
+
+i8 TernarySampler::sample(ChaCha20& rng) const {
+  for (;;) {
+    // Consume 2 bits; reject the fourth symbol for exact uniformity.
+    const u32 bits = rng.next_u32() & 3;
+    if (bits != 3) return static_cast<i8>(bits) - 1;
+  }
+}
+
+void TernarySampler::sample_many(ChaCha20& rng, std::span<i8> out) const {
+  // Pull 32 bits at a time and consume 2-bit symbols to avoid wasting
+  // keystream (16 symbols per word, minus rejections).
+  std::size_t i = 0;
+  while (i < out.size()) {
+    u32 word = rng.next_u32();
+    for (int s = 0; s < 16 && i < out.size(); ++s) {
+      const u32 bits = word & 3;
+      word >>= 2;
+      if (bits != 3) out[i++] = static_cast<i8>(bits) - 1;
+    }
+  }
+}
+
+DiscreteGaussianSampler::DiscreteGaussianSampler(double sigma) : sigma_(sigma) {
+  ABC_CHECK_ARG(sigma > 0.1 && sigma < 64.0, "sigma out of supported range");
+  tail_ = static_cast<int>(std::ceil(6.0 * sigma));
+  // Build P(|X| <= k) for the discrete Gaussian on Z.
+  // p(0) = c, p(k) = 2c*exp(-k^2 / (2 sigma^2)) for k >= 1.
+  std::vector<double> weights(static_cast<std::size_t>(tail_) + 1);
+  weights[0] = 1.0;
+  double total = 1.0;
+  for (int k = 1; k <= tail_; ++k) {
+    const double w =
+        2.0 * std::exp(-static_cast<double>(k) * k / (2.0 * sigma * sigma));
+    weights[static_cast<std::size_t>(k)] = w;
+    total += w;
+  }
+  cdf_.resize(weights.size());
+  double acc = 0.0;
+  for (std::size_t k = 0; k < weights.size(); ++k) {
+    acc += weights[k] / total;
+    const double scaled = acc * 0x1.0p63;
+    cdf_[k] = scaled >= 0x1.0p63 ? ~u64{0} >> 1 : static_cast<u64>(scaled);
+  }
+  cdf_.back() = ~u64{0} >> 1;  // ensure full coverage
+}
+
+i32 DiscreteGaussianSampler::sample(ChaCha20& rng) const {
+  const u64 r = rng.next_u64();
+  const u64 u = r >> 1;       // 63 bits for the magnitude CDF
+  const bool negative = r & 1;
+  int magnitude = 0;
+  while (magnitude < tail_ && u >= cdf_[static_cast<std::size_t>(magnitude)]) {
+    ++magnitude;
+  }
+  if (magnitude == 0) return 0;  // sign is meaningless at zero
+  return negative ? -magnitude : magnitude;
+}
+
+void DiscreteGaussianSampler::sample_many(ChaCha20& rng,
+                                          std::span<i32> out) const {
+  for (i32& v : out) v = sample(rng);
+}
+
+}  // namespace abc::prng

@@ -1,0 +1,106 @@
+#include "rns/modmul_algorithms.hpp"
+
+#include "common/bitops.hpp"
+
+namespace abc::rns {
+
+// ---------------------------------------------------------------- Barrett
+
+BarrettHwModMul::BarrettHwModMul(u64 q) : q_(q), k_(bit_length(q)) {
+  ABC_CHECK_ARG(q >= 3 && k_ <= 62, "Barrett modulus must fit in 62 bits");
+  // mu = floor(2^(2k) / q). 2k <= 124 so the division fits in u128.
+  const u128 numerator = static_cast<u128>(1) << (2 * k_);
+  mu_ = numerator / q;
+}
+
+u64 BarrettHwModMul::mul(u64 a, u64 b) const {
+  const u128 t = mul_wide(a, b);
+  // qhat = floor( (t >> (k-1)) * mu / 2^(k+1) )
+  const u128 t_shift = t >> (k_ - 1);
+  // t_shift < 2^(k+1), mu < 2^(k+1): product < 2^(2k+2) <= 2^126, ok.
+  const u128 prod = t_shift * mu_;
+  const u128 qhat = prod >> (k_ + 1);
+  u64 r = static_cast<u64>(t - qhat * q_);
+  while (r >= q_) r -= q_;
+  return r;
+}
+
+ModMulCost BarrettHwModMul::cost(int w) const {
+  ModMulCost c;
+  // Vanilla Barrett operates on the full double-width product: a*b, then
+  // t * mu on the 2w-wide intermediate, then the qhat*q fold-back.
+  c.multipliers.push_back({w, w});
+  c.multipliers.push_back({2 * w, 2 * w});
+  c.multipliers.push_back({w + 1, w});
+  c.extra_adder_bits = 2 * (2 * w);  // subtraction + two corrections
+  c.pipeline_stages = pipeline_stages();
+  return c;
+}
+
+// ------------------------------------------------------------- Montgomery
+
+MontgomeryHwModMul::MontgomeryHwModMul(u64 q, int r_bits) : mont_(q, r_bits) {}
+
+u64 MontgomeryHwModMul::mul(u64 a, u64 b) const {
+  // Standalone semantics: convert into the domain, multiply, convert back.
+  const u64 am = mont_.to_mont(a);
+  const u64 bm = mont_.to_mont(b);
+  return mont_.from_mont(mont_.mul(am, bm));
+}
+
+ModMulCost MontgomeryHwModMul::cost(int w) const {
+  ModMulCost c;
+  // a*b, T_lo * (-q^{-1}) mod R (low half only), m*q.
+  c.multipliers.push_back({w, w});
+  c.multipliers.push_back({w, w});
+  c.multipliers.push_back({w, w});
+  c.extra_adder_bits = 2 * w + w;  // T + m*q accumulation + correction
+  c.pipeline_stages = pipeline_stages();
+  return c;
+}
+
+// ------------------------------------------------ NTT-friendly Montgomery
+
+NttFriendlyMontgomeryHwModMul::NttFriendlyMontgomeryHwModMul(u64 q, int r_bits)
+    : mont_(q, r_bits), q_naf_(SignedPow2::decompose(q, 64)) {}
+
+u64 NttFriendlyMontgomeryHwModMul::redc_fully_sparse(u128 t) const noexcept {
+  // m via the sparse -q^{-1}; m*q via the sparse q. Only shifts and adds.
+  const int r = mont_.r_bits();
+  const u64 m = mont_.neg_qinv_naf().apply(lo64(t), r);
+  u128 mq = 0;
+  for (const SignedPow2::Term& term : q_naf_.terms()) {
+    const u128 shifted = static_cast<u128>(m) << term.shift;
+    mq = term.sign > 0 ? mq + shifted : mq - shifted;
+  }
+  const u128 sum = t + mq;
+  u64 out = static_cast<u64>(sum >> r);
+  if (out >= mont_.modulus()) out -= mont_.modulus();
+  return out;
+}
+
+u64 NttFriendlyMontgomeryHwModMul::mul(u64 a, u64 b) const {
+  const u64 am = mont_.to_mont(a);
+  const u64 bm = mont_.to_mont(b);
+  return mont_.from_mont(redc_fully_sparse(mul_wide(am, bm)));
+}
+
+ModMulCost NttFriendlyMontgomeryHwModMul::cost(int w) const {
+  ModMulCost c;
+  c.multipliers.push_back({w, w});  // only a*b survives as a multiplier
+  c.shift_add_terms = qinv_weight() + q_weight();
+  c.shift_add_width = 2 * w;
+  c.extra_adder_bits = 2 * w + w;
+  c.pipeline_stages = pipeline_stages();
+  return c;
+}
+
+std::vector<std::unique_ptr<HwModMul>> make_all_modmuls(u64 q, int r_bits) {
+  std::vector<std::unique_ptr<HwModMul>> v;
+  v.push_back(std::make_unique<BarrettHwModMul>(q));
+  v.push_back(std::make_unique<MontgomeryHwModMul>(q, r_bits));
+  v.push_back(std::make_unique<NttFriendlyMontgomeryHwModMul>(q, r_bits));
+  return v;
+}
+
+}  // namespace abc::rns

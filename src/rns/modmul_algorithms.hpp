@@ -1,0 +1,115 @@
+#pragma once
+
+/// @file modmul_algorithms.hpp
+/// Functional models of the three hardware modular-multiplier datapaths
+/// compared in the paper's Table I:
+///
+///   * Vanilla Barrett      — 3 wide multipliers, 4 pipeline stages
+///   * Vanilla Montgomery   — 3 multipliers, 3 pipeline stages
+///   * NTT-friendly Montgomery — 1 multiplier; the m = T*QInv and m*Q
+///     products become shift-and-add networks because both QInv (paper
+///     eq. 11) and Q itself (paper eq. 8) are sparse in signed-binary form.
+///
+/// Each model computes bit-exact results (verified against each other and
+/// against naive %), and reports its structural cost (multiplier widths,
+/// shift-add term counts, pipeline stages) which the area model in
+/// src/core/hw_units.hpp turns into um^2 for Table I.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rns/montgomery.hpp"
+
+namespace abc::rns {
+
+/// Structural cost of one modular-multiplier instance.
+struct ModMulCost {
+  struct MultiplierInst {
+    int width_a = 0;
+    int width_b = 0;
+  };
+  std::vector<MultiplierInst> multipliers;
+  int shift_add_terms = 0;   // number of shifted addends in add networks
+  int shift_add_width = 0;   // operand width of those adders
+  int extra_adder_bits = 0;  // final accumulation / correction adders
+  int pipeline_stages = 0;
+};
+
+/// Common interface for the hardware-style modular multipliers.
+class HwModMul {
+ public:
+  virtual ~HwModMul() = default;
+  virtual std::string name() const = 0;
+  /// (a * b) mod q with a, b < q.
+  virtual u64 mul(u64 a, u64 b) const = 0;
+  /// Structural cost for a @p datapath_bits-wide implementation.
+  virtual ModMulCost cost(int datapath_bits) const = 0;
+  virtual int pipeline_stages() const = 0;
+};
+
+/// Classic Barrett: mu = floor(2^(2k) / q); quotient estimated with two
+/// wide multiplications. k = bit width of q.
+class BarrettHwModMul final : public HwModMul {
+ public:
+  explicit BarrettHwModMul(u64 q);
+  std::string name() const override { return "Vanilla Barrett"; }
+  u64 mul(u64 a, u64 b) const override;
+  ModMulCost cost(int datapath_bits) const override;
+  int pipeline_stages() const override { return 4; }
+
+  u64 modulus() const noexcept { return q_; }
+
+ private:
+  u64 q_;
+  int k_;      // bit width of q
+  u128 mu_;    // floor(2^(2k) / q), fits in k+1 bits over 64 for k <= 62
+};
+
+/// Vanilla Montgomery (operands kept in the Montgomery domain by the
+/// caller; mul() here wraps domain conversion for standalone use).
+class MontgomeryHwModMul final : public HwModMul {
+ public:
+  MontgomeryHwModMul(u64 q, int r_bits);
+  std::string name() const override { return "Vanilla Montgomery"; }
+  u64 mul(u64 a, u64 b) const override;
+  ModMulCost cost(int datapath_bits) const override;
+  int pipeline_stages() const override { return 3; }
+
+  const Montgomery& ctx() const noexcept { return mont_; }
+
+ private:
+  Montgomery mont_;
+};
+
+/// NTT-friendly Montgomery: identical arithmetic, but m = T_lo * (-q^{-1})
+/// and m * q are computed with shift-and-add networks driven by the sparse
+/// signed-digit forms of -q^{-1} mod R and of q. Only the initial a*b
+/// product needs a real multiplier (paper Sec. IV-A).
+class NttFriendlyMontgomeryHwModMul final : public HwModMul {
+ public:
+  NttFriendlyMontgomeryHwModMul(u64 q, int r_bits);
+  std::string name() const override { return "NTT-Friendly Montgomery"; }
+  u64 mul(u64 a, u64 b) const override;
+  ModMulCost cost(int datapath_bits) const override;
+  int pipeline_stages() const override { return 3; }
+
+  const Montgomery& ctx() const noexcept { return mont_; }
+  /// Shift-add weight of -q^{-1} mod R (paper wants <= ~4 terms).
+  int qinv_weight() const noexcept { return mont_.neg_qinv_naf().weight(); }
+  /// Shift-add weight of q itself.
+  int q_weight() const noexcept { return q_naf_.weight(); }
+
+  /// Raw REDC in which *every* non-initial product is a shift-add network;
+  /// exposed for the bit-exactness tests.
+  u64 redc_fully_sparse(u128 t) const noexcept;
+
+ private:
+  Montgomery mont_;
+  SignedPow2 q_naf_;
+};
+
+/// Convenience: build all three models for one modulus (Table I rows).
+std::vector<std::unique_ptr<HwModMul>> make_all_modmuls(u64 q, int r_bits);
+
+}  // namespace abc::rns

@@ -1,0 +1,96 @@
+#pragma once
+
+/// @file modulus.hpp
+/// A word-sized prime modulus with Barrett reduction precomputation, plus
+/// Shoup multiplication for constant operands (twiddle factors). This is the
+/// fast software arithmetic used by the reference CKKS implementation; the
+/// hardware-style datapath models live in modmul_algorithms.hpp.
+
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace abc::rns {
+
+/// Immutable modulus q with floor(2^128 / q) precomputed for Barrett
+/// reduction of 128-bit products. Supports q up to 62 bits.
+class Modulus {
+ public:
+  Modulus() = default;
+  explicit Modulus(u64 value);
+
+  u64 value() const noexcept { return value_; }
+  int bit_count() const noexcept { return bit_count_; }
+  bool is_zero() const noexcept { return value_ == 0; }
+
+  bool operator==(const Modulus& other) const noexcept {
+    return value_ == other.value_;
+  }
+
+  /// x mod q for any 64-bit x.
+  u64 reduce(u64 x) const noexcept;
+
+  /// x mod q for any 128-bit x (Barrett with the 2^128 ratio).
+  u64 reduce_128(u128 x) const noexcept;
+
+  u64 add(u64 a, u64 b) const noexcept {
+    u64 s = a + b;
+    return s >= value_ ? s - value_ : s;
+  }
+  u64 sub(u64 a, u64 b) const noexcept {
+    return a >= b ? a - b : a + value_ - b;
+  }
+  u64 negate(u64 a) const noexcept { return a == 0 ? 0 : value_ - a; }
+  u64 mul(u64 a, u64 b) const noexcept { return reduce_128(mul_wide(a, b)); }
+
+  u64 pow(u64 base, u64 exponent) const noexcept;
+
+  /// Multiplicative inverse (q must be prime for exponent-based inverse of
+  /// arbitrary elements; validated at construction for the prime chain).
+  u64 inv(u64 a) const;
+
+  /// Centered signed representative in (-q/2, q/2].
+  i64 to_centered(u64 a) const noexcept {
+    return a > value_ / 2 ? static_cast<i64>(a) - static_cast<i64>(value_)
+                          : static_cast<i64>(a);
+  }
+  /// Map a signed value into [0, q).
+  u64 from_signed(i64 x) const noexcept {
+    i64 r = x % static_cast<i64>(value_);
+    if (r < 0) r += static_cast<i64>(value_);
+    return static_cast<u64>(r);
+  }
+
+ private:
+  u64 value_ = 0;
+  int bit_count_ = 0;
+  // floor(2^128 / q) as two 64-bit words (lo, hi).
+  u64 ratio_lo_ = 0;
+  u64 ratio_hi_ = 0;
+};
+
+/// Precomputed Shoup representation of a constant multiplicand w < q:
+/// stores floor(w * 2^64 / q) so that (x * w) mod q costs one mul_hi, one
+/// mul_lo and a conditional subtraction. Exactly the trick fast software
+/// NTTs use for twiddle factors.
+struct ShoupMul {
+  u64 operand = 0;
+  u64 quotient = 0;
+
+  static ShoupMul make(u64 operand, const Modulus& q) {
+    ABC_CHECK_ARG(operand < q.value(), "Shoup operand must be < q");
+    const u128 wide = static_cast<u128>(operand) << 64;
+    return {operand, static_cast<u64>(wide / q.value())};
+  }
+
+  /// (x * operand) mod q; requires x < q... actually any x < 2^64 works as
+  /// long as operand < q; result < q.
+  u64 mul(u64 x, u64 q) const noexcept {
+    const u64 hi = mul_hi(x, quotient);
+    const u64 r = x * operand - hi * q;  // wraps mod 2^64 by construction
+    return r >= q ? r - q : r;
+  }
+};
+
+}  // namespace abc::rns

@@ -1,0 +1,71 @@
+#include "rns/montgomery.hpp"
+
+#include "common/bitops.hpp"
+#include "common/math_util.hpp"
+
+namespace abc::rns {
+
+SignedPow2 SignedPow2::decompose(u64 value, int bits) {
+  ABC_CHECK_ARG(bits >= 1 && bits <= 64, "bits must be in [1, 64]");
+  SignedPow2 d;
+  // Signed representative in [-2^(bits-1), 2^(bits-1)).
+  i128 v = static_cast<i128>(value & (bits == 64 ? ~u64{0} : ((u64{1} << bits) - 1)));
+  if (bits < 128 && v >= (static_cast<i128>(1) << (bits - 1))) {
+    v -= static_cast<i128>(1) << bits;
+  }
+  int shift = 0;
+  while (v != 0) {
+    if (v & 1) {
+      const int digit = ((v & 3) == 1) ? 1 : -1;
+      d.terms_.push_back({shift, digit});
+      v -= digit;
+    }
+    v >>= 1;
+    ++shift;
+  }
+  return d;
+}
+
+u64 SignedPow2::apply(u64 x, int bits) const noexcept {
+  u64 acc = 0;
+  for (const Term& t : terms_) {
+    const u64 shifted = t.shift >= 64 ? 0 : (x << t.shift);
+    acc = t.sign > 0 ? acc + shifted : acc - shifted;
+  }
+  if (bits < 64) acc &= (u64{1} << bits) - 1;
+  return acc;
+}
+
+Montgomery::Montgomery(u64 q, int r_bits) : q_(q), r_bits_(r_bits) {
+  ABC_CHECK_ARG((q & 1) != 0, "Montgomery modulus must be odd");
+  ABC_CHECK_ARG(r_bits > bit_length(q) && r_bits <= 64,
+                "need R = 2^r > q with r <= 64");
+  qinv_ = inverse_mod_pow2(q, r_bits);
+  neg_qinv_ = mask(~qinv_ + 1);
+  neg_qinv_naf_ = SignedPow2::decompose(neg_qinv_, r_bits);
+  // R^2 mod q via repeated doubling: R mod q, then square with 128-bit math.
+  const u64 r_mod_q =
+      r_bits == 64 ? (~static_cast<u64>(0) % q + 1) % q
+                   : (u64{1} << r_bits) % q;
+  r2_ = static_cast<u64>(mul_wide(r_mod_q, r_mod_q) % q);
+}
+
+u64 Montgomery::redc(u128 t) const noexcept {
+  const u64 m = mask(lo64(t) * neg_qinv_);
+  const u128 sum = t + mul_wide(m, q_);
+  u64 r = static_cast<u64>(sum >> r_bits_);
+  if (r >= q_) r -= q_;
+  return r;
+}
+
+u64 Montgomery::redc_shift_add(u128 t) const noexcept {
+  // m computed with the sparse signed-digit form of -q^{-1}: this is the
+  // paper's shift-and-add network. Result is identical to redc().
+  const u64 m = neg_qinv_naf_.apply(lo64(t), r_bits_);
+  const u128 sum = t + mul_wide(m, q_);
+  u64 r = static_cast<u64>(sum >> r_bits_);
+  if (r >= q_) r -= q_;
+  return r;
+}
+
+}  // namespace abc::rns

@@ -1,0 +1,90 @@
+#pragma once
+
+/// @file montgomery.hpp
+/// Montgomery reduction with configurable radix R = 2^r (r <= 64), plus the
+/// paper's NTT-friendly optimization (Sec. IV-A): for primes of the form
+///   Q = 2^bw + k * 2^(n+1) + 1,   k = +/-2^a +/- 2^b +/- 2^c,
+/// the value QInv = -Q^{-1} mod R has a sparse signed-power-of-two
+/// representation, so the two "extra" multiplications of the Montgomery
+/// reduction collapse into shift-and-add networks. We compute the exact
+/// QInv by Hensel lifting and expose its minimal signed-digit (NAF)
+/// decomposition; the shift-add reduction path is bit-exact with the
+/// multiplier-based path and is exercised against it in tests.
+
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace abc::rns {
+
+/// A value expressed as a sum of signed powers of two (non-adjacent form).
+/// The number of terms is the hardware shift-and-add cost of multiplying by
+/// the value.
+class SignedPow2 {
+ public:
+  struct Term {
+    int shift;  // power of two
+    int sign;   // +1 or -1
+  };
+
+  /// Minimal-weight decomposition of @p value interpreted modulo 2^bits.
+  /// The decomposition picks the representative of value in
+  /// [-2^(bits-1), 2^(bits-1)) so that e.g. 2^bits - 1 costs one term.
+  static SignedPow2 decompose(u64 value, int bits);
+
+  const std::vector<Term>& terms() const noexcept { return terms_; }
+  int weight() const noexcept { return static_cast<int>(terms_.size()); }
+
+  /// Evaluate the decomposition modulo 2^bits (for verification) applied to
+  /// a multiplicand: returns (x * value) mod 2^bits using shifts/adds only.
+  u64 apply(u64 x, int bits) const noexcept;
+
+ private:
+  std::vector<Term> terms_;
+};
+
+/// Montgomery context for modulus q with radix R = 2^r_bits.
+class Montgomery {
+ public:
+  /// @p r_bits must satisfy bit_count(q) < r_bits <= 64 and q must be odd.
+  Montgomery(u64 q, int r_bits);
+
+  u64 modulus() const noexcept { return q_; }
+  int r_bits() const noexcept { return r_bits_; }
+  u64 qinv() const noexcept { return qinv_; }          // q^{-1} mod R
+  u64 neg_qinv() const noexcept { return neg_qinv_; }  // -q^{-1} mod R
+  const SignedPow2& neg_qinv_naf() const noexcept { return neg_qinv_naf_; }
+
+  /// Montgomery reduction: T < q*R -> T * R^{-1} mod q, result < q.
+  u64 redc(u128 t) const noexcept;
+
+  /// Same reduction but computing m = (T mod R) * (-q^{-1}) mod R with the
+  /// sparse shift-add decomposition (the NTT-friendly datapath). Bit-exact
+  /// with redc().
+  u64 redc_shift_add(u128 t) const noexcept;
+
+  /// To/from the Montgomery domain.
+  u64 to_mont(u64 a) const noexcept { return redc(mul_wide(a % q_, r2_)); }
+  u64 from_mont(u64 a) const noexcept { return redc(static_cast<u128>(a)); }
+
+  /// Product of two Montgomery-domain operands (each < q).
+  u64 mul(u64 a, u64 b) const noexcept { return redc(mul_wide(a, b)); }
+  u64 mul_shift_add(u64 a, u64 b) const noexcept {
+    return redc_shift_add(mul_wide(a, b));
+  }
+
+ private:
+  u64 mask(u64 x) const noexcept {
+    return r_bits_ == 64 ? x : x & ((u64{1} << r_bits_) - 1);
+  }
+
+  u64 q_ = 0;
+  int r_bits_ = 0;
+  u64 qinv_ = 0;
+  u64 neg_qinv_ = 0;
+  u64 r2_ = 0;  // R^2 mod q
+  SignedPow2 neg_qinv_naf_;
+};
+
+}  // namespace abc::rns

@@ -1,0 +1,74 @@
+#pragma once
+
+/// @file rns_basis.hpp
+/// Residue number system over a chain of NTT primes, with CRT
+/// recomposition. Encoding expands a centered integer into residues
+/// ("Expand RNS" in the paper's Fig. 2a); decoding recombines residues into
+/// a centered big integer ("Combine CRT") before the final FFT.
+
+#include <span>
+#include <vector>
+
+#include "common/bigint.hpp"
+#include "rns/modulus.hpp"
+
+namespace abc::rns {
+
+/// An ordered prime chain q_0, ..., q_{L-1}. "Level" here means the number
+/// of active limbs (a fresh bootstrappable ciphertext uses all of them; a
+/// server-returned ciphertext in the paper uses 2).
+class RnsBasis {
+ public:
+  explicit RnsBasis(const std::vector<u64>& primes);
+
+  std::size_t size() const noexcept { return moduli_.size(); }
+  const Modulus& modulus(std::size_t i) const { return moduli_.at(i); }
+  std::span<const Modulus> moduli() const noexcept { return moduli_; }
+
+  /// Product of the first @p limbs primes.
+  const BigUint& product(std::size_t limbs) const;
+
+  /// Residues of a centered signed value across the first @p limbs primes.
+  void decompose_i64(i64 x, std::span<u64> out) const;
+
+  /// CRT data for a prefix of the chain.
+  struct Prefix {
+    BigUint q;                        // product of the prefix primes
+    std::vector<BigUint> qhat;        // q / q_i
+    std::vector<u64> qhat_inv;        // (q / q_i)^{-1} mod q_i
+    std::vector<std::vector<u64>> qhat_words;  // qhat padded to word_count
+    std::size_t word_count = 0;       // words of q
+  };
+  const Prefix& prefix(std::size_t limbs) const;
+
+ private:
+  std::vector<Modulus> moduli_;
+  std::vector<Prefix> prefixes_;  // prefixes_[L-1] covers the first L primes
+};
+
+/// Streaming CRT recomposition with preallocated scratch: converts one
+/// residue vector at a time into a centered double. Used by the decoder on
+/// up to 2^16 coefficients, so it avoids per-coefficient allocation.
+class CrtComposer {
+ public:
+  CrtComposer(const RnsBasis& basis, std::size_t limbs);
+
+  /// residues[i] is the value mod q_i; returns the centered representative
+  /// of the CRT recombination as a double.
+  double compose_centered(std::span<const u64> residues);
+
+  /// Exact recombination in [0, Q) as a BigUint (slow path, for tests).
+  BigUint compose_exact(std::span<const u64> residues);
+
+ private:
+  void accumulate(std::span<const u64> residues);
+
+  const RnsBasis& basis_;
+  std::size_t limbs_;
+  const RnsBasis::Prefix& prefix_;
+  std::vector<u64> acc_;          // word_count + 1 scratch words
+  std::vector<u64> q_words_;      // prefix q padded to acc_ size
+  std::vector<u64> diff_scratch_; // Q - acc scratch for centered negatives
+};
+
+}  // namespace abc::rns

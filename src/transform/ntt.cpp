@@ -1,0 +1,105 @@
+#include "transform/ntt.hpp"
+
+#include "common/bitops.hpp"
+#include "common/check.hpp"
+#include "transform/op_counter.hpp"
+
+namespace abc::xf {
+
+u64 find_primitive_2n_root(const rns::Modulus& q, int log_n) {
+  const u64 two_n = u64{1} << (log_n + 1);
+  ABC_CHECK_ARG((q.value() - 1) % two_n == 0, "q != 1 mod 2N");
+  const u64 cofactor = (q.value() - 1) / two_n;
+  // Deterministic scan over small candidates: g^cofactor has order dividing
+  // 2N; it is a primitive 2N-th root iff its N-th power is -1.
+  for (u64 g = 2; g < q.value(); ++g) {
+    const u64 candidate = q.pow(g, cofactor);
+    if (q.pow(candidate, two_n / 2) == q.value() - 1) return candidate;
+  }
+  ABC_CHECK_STATE(false, "no primitive root found (q not prime?)");
+  return 0;
+}
+
+NttTables::NttTables(const rns::Modulus& q, int log_n)
+    : q_(q), log_n_(log_n), n_(std::size_t{1} << log_n) {
+  ABC_CHECK_ARG(log_n >= 1 && log_n <= 20, "log_n out of range");
+  psi_ = find_primitive_2n_root(q, log_n);
+  psi_inv_ = q_.inv(psi_);
+  psi_rev_.resize(n_);
+  inv_psi_rev_.resize(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    const u64 exponent = bit_reverse(i, log_n_);
+    const u64 w = q_.pow(psi_, exponent);
+    psi_rev_[i] = rns::ShoupMul::make(w, q_);
+    inv_psi_rev_[i] = rns::ShoupMul::make(q_.inv(w), q_);
+  }
+  n_inv_ = rns::ShoupMul::make(q_.inv(static_cast<u64>(n_ % q_.value())), q_);
+}
+
+void NttTables::forward(std::span<u64> a) const {
+  ABC_CHECK_ARG(a.size() == n_, "polynomial size mismatch");
+  const u64 qv = q_.value();
+  std::size_t t = n_;
+  for (std::size_t m = 1; m < n_; m <<= 1) {
+    t >>= 1;
+    for (std::size_t i = 0; i < m; ++i) {
+      const rns::ShoupMul& s = psi_rev_[m + i];
+      const std::size_t j1 = 2 * i * t;
+      for (std::size_t j = j1; j < j1 + t; ++j) {
+        const u64 u = a[j];
+        const u64 v = s.mul(a[j + t], qv);
+        a[j] = q_.add(u, v);
+        a[j + t] = q_.sub(u, v);
+      }
+    }
+  }
+  op_counts().ntt_mul += (n_ / 2) * static_cast<u64>(log_n_);
+  op_counts().ntt_add += n_ * static_cast<u64>(log_n_);
+}
+
+void NttTables::inverse(std::span<u64> a) const {
+  ABC_CHECK_ARG(a.size() == n_, "polynomial size mismatch");
+  const u64 qv = q_.value();
+  // Exact mirror of forward(): Gentleman-Sande butterflies with inverse
+  // twiddles, stages in reverse order; the per-stage 1/2 factors are folded
+  // into the final N^{-1} multiplication.
+  std::size_t t = 1;
+  for (std::size_t m = n_ >> 1; m >= 1; m >>= 1) {
+    for (std::size_t i = 0; i < m; ++i) {
+      const rns::ShoupMul& s = inv_psi_rev_[m + i];
+      const std::size_t j1 = 2 * i * t;
+      for (std::size_t j = j1; j < j1 + t; ++j) {
+        const u64 x = a[j];
+        const u64 y = a[j + t];
+        a[j] = q_.add(x, y);
+        a[j + t] = s.mul(q_.sub(x, y), qv);
+      }
+    }
+    t <<= 1;
+  }
+  for (std::size_t j = 0; j < n_; ++j) a[j] = n_inv_.mul(a[j], qv);
+  op_counts().ntt_mul += (n_ / 2) * static_cast<u64>(log_n_) + n_;
+  op_counts().ntt_add += n_ * static_cast<u64>(log_n_);
+}
+
+std::vector<u64> negacyclic_mult_schoolbook(std::span<const u64> a,
+                                            std::span<const u64> b,
+                                            const rns::Modulus& q) {
+  ABC_CHECK_ARG(a.size() == b.size(), "size mismatch");
+  const std::size_t n = a.size();
+  std::vector<u64> c(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const u64 prod = q.mul(a[i], b[j]);
+      const std::size_t k = i + j;
+      if (k < n) {
+        c[k] = q.add(c[k], prod);
+      } else {
+        c[k - n] = q.sub(c[k - n], prod);  // X^N == -1
+      }
+    }
+  }
+  return c;
+}
+
+}  // namespace abc::xf

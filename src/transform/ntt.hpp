@@ -1,0 +1,69 @@
+#pragma once
+
+/// @file ntt.hpp
+/// Negacyclic number-theoretic transform over Z_q[X]/(X^N + 1) with merged
+/// pre-/post-processing twiddles (paper eqs. 2-3): the nega-cyclic psi
+/// factors are folded into the stage twiddles, so no separate pre/post
+/// multiplication pass exists — the property the paper's twiddle-factor
+/// scheduling exploits to reach the minimal P/2 * log2(N) multiplier count.
+///
+/// Conventions (Longa-Naehrig / SEAL):
+///  * forward(): Cooley-Tukey butterflies, natural-order input,
+///    bit-reversed output;
+///  * inverse(): Gentleman-Sande butterflies, bit-reversed input,
+///    natural-order output, scaled by N^{-1}.
+/// Point-wise products of two forward-transformed polynomials followed by
+/// inverse() realize negacyclic convolution.
+
+#include <span>
+#include <vector>
+
+#include "rns/modulus.hpp"
+
+namespace abc::xf {
+
+class NttTables {
+ public:
+  /// Requires q == 1 (mod 2N) with N = 2^log_n.
+  NttTables(const rns::Modulus& q, int log_n);
+
+  const rns::Modulus& modulus() const noexcept { return q_; }
+  int log_n() const noexcept { return log_n_; }
+  std::size_t n() const noexcept { return n_; }
+
+  u64 psi() const noexcept { return psi_; }          // primitive 2N-th root
+  u64 psi_inv() const noexcept { return psi_inv_; }
+  u64 n_inv() const noexcept { return n_inv_.operand; }
+
+  /// In-place forward NTT (natural -> bit-reversed).
+  void forward(std::span<u64> a) const;
+
+  /// In-place inverse NTT (bit-reversed -> natural), including the N^{-1}
+  /// scaling.
+  void inverse(std::span<u64> a) const;
+
+  /// Stage-twiddle access for the on-the-fly generator model:
+  /// psi_rev(i) = psi^{bit_reverse(i, log_n)}.
+  u64 psi_rev(std::size_t i) const { return psi_rev_.at(i).operand; }
+
+ private:
+  rns::Modulus q_;
+  int log_n_;
+  std::size_t n_;
+  u64 psi_ = 0;
+  u64 psi_inv_ = 0;
+  std::vector<rns::ShoupMul> psi_rev_;      // forward stage twiddles
+  std::vector<rns::ShoupMul> inv_psi_rev_;  // inverses of psi_rev_
+  rns::ShoupMul n_inv_;
+};
+
+/// Finds a primitive 2N-th root of unity modulo q (q == 1 mod 2N).
+u64 find_primitive_2n_root(const rns::Modulus& q, int log_n);
+
+/// Reference negacyclic product c = a * b mod (X^N + 1, q), O(N^2)
+/// schoolbook; used by tests to pin down the transform semantics.
+std::vector<u64> negacyclic_mult_schoolbook(std::span<const u64> a,
+                                            std::span<const u64> b,
+                                            const rns::Modulus& q);
+
+}  // namespace abc::xf

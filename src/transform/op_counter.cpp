@@ -1,0 +1,33 @@
+#include "transform/op_counter.hpp"
+
+namespace abc::xf {
+
+OpCounts& OpCounts::operator+=(const OpCounts& o) noexcept {
+  ntt_mul += o.ntt_mul;
+  ntt_add += o.ntt_add;
+  fft_mul += o.fft_mul;
+  fft_add += o.fft_add;
+  poly_mul += o.poly_mul;
+  poly_add += o.poly_add;
+  other += o.other;
+  return *this;
+}
+
+OpCounts OpCounts::operator-(const OpCounts& o) const noexcept {
+  OpCounts r = *this;
+  r.ntt_mul -= o.ntt_mul;
+  r.ntt_add -= o.ntt_add;
+  r.fft_mul -= o.fft_mul;
+  r.fft_add -= o.fft_add;
+  r.poly_mul -= o.poly_mul;
+  r.poly_add -= o.poly_add;
+  r.other -= o.other;
+  return r;
+}
+
+OpCounts& op_counts() noexcept {
+  thread_local OpCounts counts;
+  return counts;
+}
+
+}  // namespace abc::xf

@@ -1,0 +1,47 @@
+#pragma once
+
+/// @file op_counter.hpp
+/// Analytic operation counters. Every transform / element-wise kernel adds
+/// its arithmetic-op total once per call, so the counts reflect what the
+/// hardware datapath would execute (the paper's Fig. 2b metric) without
+/// per-operation instrumentation overhead in the hot loops.
+
+#include "common/types.hpp"
+
+namespace abc::xf {
+
+/// Operation classes tracked for the Fig. 2 workload analysis.
+struct OpCounts {
+  u64 ntt_mul = 0;      // modular butterfly multiplications (I/NTT)
+  u64 ntt_add = 0;      // modular butterfly add/sub (I/NTT)
+  u64 fft_mul = 0;      // FP multiplications inside I/FFT butterflies
+  u64 fft_add = 0;      // FP additions inside I/FFT butterflies
+  u64 poly_mul = 0;     // element-wise (dyadic) modular multiplications
+  u64 poly_add = 0;     // element-wise modular additions/subtractions
+  u64 other = 0;        // RNS expand, CRT combine, rounding, sampling ops
+
+  u64 ntt_total() const noexcept { return ntt_mul + ntt_add; }
+  u64 fft_total() const noexcept { return fft_mul + fft_add; }
+  u64 poly_total() const noexcept { return poly_mul + poly_add; }
+  u64 total() const noexcept {
+    return ntt_total() + fft_total() + poly_total() + other;
+  }
+
+  OpCounts& operator+=(const OpCounts& o) noexcept;
+  OpCounts operator-(const OpCounts& o) const noexcept;
+};
+
+/// Thread-local accumulator the kernels add into.
+OpCounts& op_counts() noexcept;
+
+/// RAII scope capturing the ops executed between construction and delta().
+class OpCounterScope {
+ public:
+  OpCounterScope() : start_(op_counts()) {}
+  OpCounts delta() const noexcept { return op_counts() - start_; }
+
+ private:
+  OpCounts start_;
+};
+
+}  // namespace abc::xf

@@ -1,0 +1,26 @@
+#include "transform/softfloat.hpp"
+
+#include <bit>
+
+namespace abc::xf {
+
+thread_local int FpPrecision::bits_ = 52;
+
+double round_mantissa(double x, int bits) noexcept {
+  if (bits >= 52 || x == 0.0 || !std::isfinite(x)) return x;
+  u64 b = std::bit_cast<u64>(x);
+  const int drop = 52 - bits;
+  const u64 drop_mask = (u64{1} << drop) - 1;
+  const u64 remainder = b & drop_mask;
+  b &= ~drop_mask;
+  const u64 half = u64{1} << (drop - 1);
+  if (remainder > half ||
+      (remainder == half && ((b >> drop) & 1) != 0)) {
+    // Round up; carry may ripple into the exponent, which correctly models
+    // rounding to the next binade (e.g. 0.999.. -> 1.0).
+    b += u64{1} << drop;
+  }
+  return std::bit_cast<double>(b);
+}
+
+}  // namespace abc::xf

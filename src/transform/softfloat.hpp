@@ -1,0 +1,94 @@
+#pragma once
+
+/// @file softfloat.hpp
+/// Mantissa-rounded floating point, emulating the paper's custom FP55
+/// format (1 sign + 11 exponent + 43 mantissa bits, Fig. 3c). A Rounded
+/// value behaves like a double whose mantissa is rounded to the current
+/// precision (round-to-nearest-even) after *every* arithmetic operation,
+/// exactly what a narrower hardware FP datapath produces. The precision is
+/// a thread-local setting so the same templated kernels can be swept over
+/// mantissa widths (bench_fig3_precision).
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace abc::xf {
+
+/// Thread-local mantissa width (fraction bits, excluding the hidden bit).
+/// 52 means native double behaviour.
+class FpPrecision {
+ public:
+  static int mantissa_bits() noexcept { return bits_; }
+
+  /// RAII scope overriding the precision.
+  explicit FpPrecision(int bits) : saved_(bits_) {
+    ABC_CHECK_ARG(bits >= 1 && bits <= 52, "mantissa bits must be in [1,52]");
+    bits_ = bits;
+  }
+  ~FpPrecision() { bits_ = saved_; }
+  FpPrecision(const FpPrecision&) = delete;
+  FpPrecision& operator=(const FpPrecision&) = delete;
+
+ private:
+  static thread_local int bits_;
+  int saved_;
+};
+
+/// Round a double's mantissa to @p bits fraction bits, nearest-even.
+double round_mantissa(double x, int bits) noexcept;
+
+/// Double wrapper that rounds after each operation.
+struct Rounded {
+  double v = 0.0;
+
+  Rounded() = default;
+  // Implicit conversion from double is intentional: twiddle tables are
+  // stored as doubles and get rounded on first use, modelling FP55 ROM.
+  Rounded(double value) : v(round_mantissa(value, FpPrecision::mantissa_bits())) {}
+
+  explicit operator double() const noexcept { return v; }
+
+  friend Rounded operator+(Rounded a, Rounded b) { return {a.v + b.v}; }
+  friend Rounded operator-(Rounded a, Rounded b) { return {a.v - b.v}; }
+  friend Rounded operator*(Rounded a, Rounded b) { return {a.v * b.v}; }
+  friend Rounded operator/(Rounded a, Rounded b) { return {a.v / b.v}; }
+  Rounded operator-() const { return Rounded{-v}; }
+  Rounded& operator+=(Rounded o) { return *this = *this + o; }
+  Rounded& operator-=(Rounded o) { return *this = *this - o; }
+  Rounded& operator*=(Rounded o) { return *this = *this * o; }
+};
+
+/// Complex number over any float-like type (double or Rounded). Each
+/// primitive FP operation maps to one hardware FP op, so rounding applies
+/// at the same granularity the datapath would round.
+template <class F>
+struct Cx {
+  F re{};
+  F im{};
+
+  friend Cx operator+(const Cx& a, const Cx& b) {
+    return {a.re + b.re, a.im + b.im};
+  }
+  friend Cx operator-(const Cx& a, const Cx& b) {
+    return {a.re - b.re, a.im - b.im};
+  }
+  friend Cx operator*(const Cx& a, const Cx& b) {
+    // 4 multiplications + 2 additions: the paper's complex FP multiplier
+    // built from four reconfigured modular multipliers (eq. 12).
+    return {a.re * b.re - a.im * b.im, a.re * b.im + a.im * b.re};
+  }
+  Cx conj() const { return {re, -im}; }
+};
+
+/// Magnitude helpers usable for both float types.
+inline double as_double(double x) noexcept { return x; }
+inline double as_double(const Rounded& x) noexcept { return x.v; }
+
+template <class F>
+double cx_abs(const Cx<F>& z) noexcept {
+  return std::hypot(as_double(z.re), as_double(z.im));
+}
+
+}  // namespace abc::xf

@@ -1,0 +1,113 @@
+#include "transform/twiddle.hpp"
+
+#include <cmath>
+
+namespace abc::xf {
+
+OtfModularTwiddleGen::OtfModularTwiddleGen(const NttTables& tables, int stage)
+    : q_(tables.modulus()), count_(std::size_t{1} << stage) {
+  ABC_CHECK_ARG(stage >= 0 && stage < tables.log_n(), "stage out of range");
+  const u64 n = tables.n();
+  const u64 m = u64{1} << stage;
+  seed_ = q_.pow(tables.psi(), n / (2 * m));
+  step_ = q_.pow(tables.psi(), n / m);
+  current_ = seed_;
+}
+
+u64 OtfModularTwiddleGen::next() {
+  ABC_CHECK_STATE(emitted_ < count_, "stage exhausted");
+  const u64 out = current_;
+  current_ = q_.mul(current_, step_);
+  ++emitted_;
+  return out;
+}
+
+bool OtfModularTwiddleGen::matches_tables(const NttTables& tables, int stage) {
+  OtfModularTwiddleGen gen(tables, stage);
+  const std::size_t m = std::size_t{1} << stage;
+  std::vector<u64> generated(m);
+  for (std::size_t j = 0; j < m; ++j) generated[j] = gen.next();
+  for (std::size_t i = 0; i < m; ++i) {
+    // Table order is bit-reversed generation order.
+    const std::size_t j = stage == 0 ? 0 : bit_reverse(i, stage);
+    if (tables.psi_rev(m + i) != generated[j]) return false;
+  }
+  return true;
+}
+
+OtfComplexTwiddleGen::OtfComplexTwiddleGen(const CkksDwtPlan& plan, int stage,
+                                           std::size_t reseed_interval)
+    : plan_(plan),
+      stage_(stage),
+      reseed_interval_(reseed_interval),
+      count_(std::size_t{1} << stage) {
+  ABC_CHECK_ARG(stage >= 0 && stage < plan.log_n(), "stage out of range");
+  ABC_CHECK_ARG(reseed_interval >= 1, "reseed interval must be >= 1");
+  const u64 n = plan.n();
+  const u64 m = u64{1} << stage;
+  seed_exponent_ = n / (2 * m);
+  step_exponent_ = n / m;
+  current_ = plan.zeta_pow(seed_exponent_);
+  step_value_ = plan.zeta_pow(step_exponent_);
+}
+
+Cx<double> OtfComplexTwiddleGen::next() {
+  ABC_CHECK_STATE(emitted_ < count_, "stage exhausted");
+  if (emitted_ != 0 && emitted_ % reseed_interval_ == 0) {
+    // Exact value re-read from seed memory.
+    current_ = plan_.zeta_pow(seed_exponent_ +
+                              static_cast<u64>(emitted_) * step_exponent_);
+    ++reseeds_;
+  }
+  const Cx<double> out = current_;
+  current_ = current_ * step_value_;
+  ++emitted_;
+  return out;
+}
+
+double OtfComplexTwiddleGen::max_error_vs_exact(const CkksDwtPlan& plan,
+                                                int stage,
+                                                std::size_t reseed_interval) {
+  OtfComplexTwiddleGen gen(plan, stage, reseed_interval);
+  double max_err = 0.0;
+  const u64 n = plan.n();
+  const u64 m = u64{1} << stage;
+  for (std::size_t j = 0; j < gen.count(); ++j) {
+    const Cx<double> approx = gen.next();
+    const Cx<double> exact =
+        plan.zeta_pow(n / (2 * m) + static_cast<u64>(j) * (n / m));
+    max_err = std::max(max_err, cx_abs(approx - exact));
+  }
+  return max_err;
+}
+
+double TwiddleSeedMemoryModel::ntt_seed_bytes() const {
+  // (seed, step) per stage, forward and inverse sets, per prime.
+  const double values =
+      2.0 * static_cast<double>(log_n) * 2.0 * static_cast<double>(num_primes);
+  return values * int_bits / 8.0;
+}
+
+double TwiddleSeedMemoryModel::fft_seed_bytes() const {
+  double values = 0.0;
+  for (int s = 0; s < log_n; ++s) {
+    const double m = static_cast<double>(u64{1} << s);
+    const double seeds =
+        std::ceil(m / static_cast<double>(reseed_interval));
+    values += seeds + 1.0;  // reseed points + one step value
+  }
+  return values * (2.0 * fp_bits) / 8.0;
+}
+
+double TwiddleSeedMemoryModel::total_seed_bytes() const {
+  return ntt_seed_bytes() + fft_seed_bytes();
+}
+
+double TwiddleSeedMemoryModel::full_table_bytes() const {
+  const double n = static_cast<double>(u64{1} << log_n);
+  const double ntt_table = n * num_primes * int_bits / 8.0;
+  const double fft_table = n * (2.0 * fp_bits) / 8.0;
+  return ntt_table + fft_table;
+}
+
+}  // namespace abc::xf

@@ -1,0 +1,102 @@
+#pragma once
+
+/// @file twiddle.hpp
+/// Models of the unified on-the-fly twiddle factor generator (paper
+/// Sec. IV-B). Within one pipeline stage of the (I)NTT/(I)FFT, the twiddle
+/// factors form a geometric sequence: stage s (with m = 2^s blocks)
+/// consumes { psi^{(2j+1) * N/(2m)} : j = 0..m-1 }, i.e. seed * step^j with
+///   seed = psi^{N/(2m)},  step = psi^{N/m}.
+/// The generator therefore stores one (seed, step) pair per stage and emits
+/// one twiddle per modular/complex multiplication — replacing the full
+/// twiddle ROM (8.25 MB at N=2^16) with ~26 KB of seed memory, the >99.9%
+/// reduction claimed by the paper.
+///
+/// The complex generator accumulates rounding error as it steps, so it
+/// periodically re-reads an exact value from seed memory; the reseed
+/// interval trades seed-memory bytes against worst-case twiddle error.
+
+#include <cstddef>
+
+#include "transform/dwt.hpp"
+#include "transform/ntt.hpp"
+
+namespace abc::xf {
+
+/// Exact on-the-fly generator for one NTT stage.
+class OtfModularTwiddleGen {
+ public:
+  /// @p stage in [0, log_n): stage s has 2^s twiddles.
+  OtfModularTwiddleGen(const NttTables& tables, int stage);
+
+  u64 seed() const noexcept { return seed_; }
+  u64 step() const noexcept { return step_; }
+  std::size_t count() const noexcept { return count_; }
+
+  /// j-th call returns seed * step^j (one modular multiplication per call
+  /// after the first).
+  u64 next();
+
+  /// Table entry psi_rev(m+i) equals output index bit_reverse(i, stage):
+  /// verified by tests; exposed for the mapping property.
+  static bool matches_tables(const NttTables& tables, int stage);
+
+ private:
+  const rns::Modulus q_;
+  u64 seed_;
+  u64 step_;
+  u64 current_;
+  std::size_t emitted_ = 0;
+  std::size_t count_;
+};
+
+/// Complex generator with periodic reseeding from exact seed memory.
+class OtfComplexTwiddleGen {
+ public:
+  OtfComplexTwiddleGen(const CkksDwtPlan& plan, int stage,
+                       std::size_t reseed_interval);
+
+  std::size_t count() const noexcept { return count_; }
+  std::size_t reseeds() const noexcept { return reseeds_; }
+
+  Cx<double> next();
+
+  /// Worst-case |generated - exact| over a full stage for the given reseed
+  /// interval (drives the seed-memory sizing).
+  static double max_error_vs_exact(const CkksDwtPlan& plan, int stage,
+                                   std::size_t reseed_interval);
+
+ private:
+  const CkksDwtPlan& plan_;
+  int stage_;
+  std::size_t reseed_interval_;
+  std::size_t count_;
+  std::size_t emitted_ = 0;
+  std::size_t reseeds_ = 0;
+  u64 seed_exponent_;  // exponent of zeta for entry j: seed_e + j * step_e
+  u64 step_exponent_;
+  Cx<double> current_{};
+  Cx<double> step_value_{};
+};
+
+/// On-chip seed-memory budget of the unified OTF TF Gen, vs. the full
+/// twiddle ROM it replaces (paper: 26.4 KB vs 8.25 MB).
+struct TwiddleSeedMemoryModel {
+  int log_n = 16;
+  int num_primes = 24;
+  int int_bits = 44;           // modular datapath width
+  int fp_bits = 55;            // FP55: complex value = 2 * fp_bits
+  std::size_t reseed_interval = 128;
+
+  /// (seed + step) per stage, per prime, forward + inverse.
+  double ntt_seed_bytes() const;
+  /// Reseed points per stage plus one step value per stage (forward only:
+  /// inverse FFT twiddles are conjugates, a sign flip in hardware).
+  double fft_seed_bytes() const;
+  double total_seed_bytes() const;
+
+  /// Full-table alternative: one twiddle per point per prime (NTT) plus
+  /// the complex table (FFT).
+  double full_table_bytes() const;
+};
+
+}  // namespace abc::xf

@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "baseline/cpu_reference.hpp"
+#include "baseline/prior_work.hpp"
+
+namespace abc::baseline {
+namespace {
+
+TEST(CpuReference, PipelineRoundtripsAndTimes) {
+  // Fig. 2's ~10x encrypt/decrypt op imbalance emerges from the limb-count
+  // asymmetry (24 fresh vs 2 returned); at this reduced depth (12 vs 2)
+  // the ratio is proportionally smaller but must clearly exceed 2x.
+  ckks::CkksParams params = ckks::CkksParams::test_small(10, 12);
+  CpuClientPipeline pipeline(params, ckks::EncryptMode::kSymmetricSeeded,
+                             /*fresh=*/12, /*returned=*/2);
+  const CpuMeasurement m = pipeline.measure(1);
+  EXPECT_GT(m.encode_encrypt_ms, 0.0);
+  EXPECT_GT(m.decode_decrypt_ms, 0.0);
+  EXPECT_GT(m.encode_encrypt_ops.total(), 2 * m.decode_decrypt_ops.total());
+}
+
+TEST(CpuReference, OpCountsScaleWithLimbs) {
+  ckks::CkksParams p4 = ckks::CkksParams::test_small(10, 4);
+  ckks::CkksParams p2 = ckks::CkksParams::test_small(10, 2);
+  CpuClientPipeline deep(p4, ckks::EncryptMode::kSymmetricSeeded, 4, 2);
+  CpuClientPipeline shallow(p2, ckks::EncryptMode::kSymmetricSeeded, 2, 2);
+  const auto md = deep.measure(1);
+  const auto ms = shallow.measure(1);
+  EXPECT_GT(md.encode_encrypt_ops.ntt_total(),
+            1.5 * ms.encode_encrypt_ops.ntt_total());
+}
+
+TEST(CpuReference, FunctionalCorrectnessThroughPipeline) {
+  ckks::CkksParams params = ckks::CkksParams::test_small(10, 3);
+  CpuClientPipeline pipeline(params, ckks::EncryptMode::kPublicKey, 3, 3);
+  std::mt19937_64 rng(5);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  std::vector<std::complex<double>> msg(pipeline.context().slots());
+  for (auto& z : msg) z = {dist(rng), dist(rng)};
+  const auto ct = const_cast<CpuClientPipeline&>(pipeline).encode_encrypt(msg);
+  const auto decoded =
+      const_cast<CpuClientPipeline&>(pipeline).decode_decrypt(ct);
+  double max_err = 0;
+  for (std::size_t i = 0; i < msg.size(); ++i) {
+    max_err = std::max(max_err, std::abs(msg[i] - decoded[i]));
+  }
+  EXPECT_LT(max_err, 1e-3);
+}
+
+TEST(PriorWork, RatiosMatchPaper) {
+  const PriorWorkPoint sota = sota_client_accelerator(0.5, 0.1);
+  EXPECT_DOUBLE_EQ(sota.encode_encrypt_ms, 0.5 * 214.0);
+  EXPECT_DOUBLE_EQ(sota.decode_decrypt_ms, 0.1 * 82.0);
+  const PriorWorkPoint aloha = aloha_he(0.5, 0.1);
+  EXPECT_GT(aloha.encode_encrypt_ms, sota.encode_encrypt_ms);
+}
+
+TEST(PriorWork, Fig1SplitCalibration) {
+  const double client34 = 100.0;
+  const double server = trinity_resnet20_server_ms(client34);
+  const double client_share = client34 / (client34 + server);
+  EXPECT_NEAR(client_share, 0.694, 1e-3);
+  EXPECT_GT(cpu_resnet20_server_ms(server), 1000.0 * server);
+}
+
+}  // namespace
+}  // namespace abc::baseline

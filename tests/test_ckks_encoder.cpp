@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "ckks/encoder.hpp"
+#include "transform/ntt.hpp"
+
+namespace abc::ckks {
+namespace {
+
+std::vector<std::complex<double>> random_slots(std::size_t count, u64 seed,
+                                               double magnitude = 1.0) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> dist(-magnitude, magnitude);
+  std::vector<std::complex<double>> v(count);
+  for (auto& z : v) z = {dist(rng), dist(rng)};
+  return v;
+}
+
+std::shared_ptr<const CkksContext> test_context(int log_n = 10,
+                                                std::size_t limbs = 3) {
+  return CkksContext::create(CkksParams::test_small(log_n, limbs));
+}
+
+TEST(CkksEncoder, EncodeDecodeRoundtripPrecision) {
+  auto ctx = test_context();
+  CkksEncoder encoder(ctx);
+  const auto slots = random_slots(encoder.slots(), 1);
+  const Plaintext pt = encoder.encode(slots, ctx->max_limbs());
+  const auto decoded = encoder.decode(pt);
+  const PrecisionReport report = compare_slots(slots, decoded);
+  // With a 2^30 scale and N=2^10 the roundtrip should keep ~20+ bits.
+  EXPECT_GT(report.precision_bits, 18.0);
+  EXPECT_LT(report.max_abs_error, 1e-5);
+}
+
+TEST(CkksEncoder, PartialSlotVectorsZeroPad) {
+  auto ctx = test_context();
+  CkksEncoder encoder(ctx);
+  const auto few = random_slots(7, 2);
+  const Plaintext pt = encoder.encode(few, 2);
+  const auto decoded = encoder.decode(pt);
+  ASSERT_EQ(decoded.size(), encoder.slots());
+  for (std::size_t i = 0; i < 7; ++i) {
+    EXPECT_NEAR(decoded[i].real(), few[i].real(), 1e-5);
+    EXPECT_NEAR(decoded[i].imag(), few[i].imag(), 1e-5);
+  }
+  for (std::size_t i = 7; i < decoded.size(); ++i) {
+    EXPECT_NEAR(std::abs(decoded[i]), 0.0, 1e-5);
+  }
+}
+
+TEST(CkksEncoder, EncodingIsAdditivelyHomomorphic) {
+  auto ctx = test_context();
+  CkksEncoder encoder(ctx);
+  const auto za = random_slots(encoder.slots(), 3);
+  const auto zb = random_slots(encoder.slots(), 4);
+  Plaintext pa = encoder.encode(za, 2);
+  const Plaintext pb = encoder.encode(zb, 2);
+  pa.poly.add_inplace(pb.poly);
+  const auto decoded = encoder.decode(pa);
+  for (std::size_t i = 0; i < decoded.size(); ++i) {
+    EXPECT_NEAR(decoded[i].real(), za[i].real() + zb[i].real(), 1e-4);
+    EXPECT_NEAR(decoded[i].imag(), za[i].imag() + zb[i].imag(), 1e-4);
+  }
+}
+
+TEST(CkksEncoder, NegacyclicProductIsSlotwiseProduct) {
+  // The core CKKS property: polynomial multiplication in R corresponds to
+  // slot-wise complex multiplication (scale becomes Delta^2).
+  auto ctx = test_context(9, 3);
+  CkksEncoder encoder(ctx);
+  const auto za = random_slots(encoder.slots(), 5);
+  const auto zb = random_slots(encoder.slots(), 6);
+  const Plaintext pa = encoder.encode(za, 3);
+  const Plaintext pb = encoder.encode(zb, 3);
+
+  // Multiply in the ring via NTT on each limb.
+  Plaintext prod{ctx->make_poly(3, poly::Domain::kCoeff),
+                 pa.scale * pb.scale};
+  poly::RnsPoly a = pa.poly, b = pb.poly;
+  a.to_eval();
+  b.to_eval();
+  a.mul_inplace(b);
+  a.to_coeff();
+  prod.poly = std::move(a);
+
+  const auto decoded = encoder.decode(prod);
+  for (std::size_t i = 0; i < decoded.size(); ++i) {
+    const std::complex<double> expect = za[i] * zb[i];
+    EXPECT_NEAR(decoded[i].real(), expect.real(), 2e-3) << i;
+    EXPECT_NEAR(decoded[i].imag(), expect.imag(), 2e-3) << i;
+  }
+}
+
+TEST(CkksEncoder, RejectsOversizedInput) {
+  auto ctx = test_context();
+  CkksEncoder encoder(ctx);
+  const auto too_many = random_slots(encoder.slots() + 1, 7);
+  EXPECT_THROW(encoder.encode(too_many, 2), InvalidArgument);
+}
+
+TEST(CkksEncoder, RejectsOverflowingMagnitude) {
+  auto ctx = test_context();
+  CkksEncoder encoder(ctx);
+  // 2^40 magnitude times 2^30 scale overflows the i64 coefficient bound.
+  const std::vector<std::complex<double>> huge(encoder.slots(),
+                                               {0x1.0p40, 0.0});
+  EXPECT_THROW(encoder.encode(huge, 2), InvalidArgument);
+}
+
+TEST(CkksEncoder, MantissaSweepDegradesMonotonically) {
+  auto ctx = test_context(11, 3);
+  CkksEncoder encoder(ctx);
+  const auto slots = random_slots(encoder.slots(), 8);
+  double prev_bits = 1e9;
+  for (int mant : {48, 40, 32, 24, 16}) {
+    const Plaintext pt = encoder.encode_with_mantissa(slots, 3, mant);
+    const auto decoded = encoder.decode_with_mantissa(pt, mant);
+    const PrecisionReport r = compare_slots(slots, decoded);
+    EXPECT_LT(r.precision_bits, prev_bits + 0.5) << mant;
+    prev_bits = r.precision_bits;
+  }
+  // 16-bit mantissa caps precision near the mantissa width itself.
+  EXPECT_LT(prev_bits, 16.0);
+}
+
+TEST(CkksEncoder, FullMantissaMatchesDoublePath) {
+  auto ctx = test_context();
+  CkksEncoder encoder(ctx);
+  const auto slots = random_slots(encoder.slots(), 9);
+  const Plaintext a = encoder.encode(slots, 2);
+  const Plaintext b = encoder.encode_with_mantissa(slots, 2, 52);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_TRUE(std::equal(a.poly.limb(i).begin(), a.poly.limb(i).end(),
+                           b.poly.limb(i).begin()));
+  }
+}
+
+TEST(CkksEncoder, DecodeRequiresCoefficientDomain) {
+  auto ctx = test_context();
+  CkksEncoder encoder(ctx);
+  Plaintext pt = encoder.encode(random_slots(4, 10), 2);
+  pt.poly.to_eval();
+  EXPECT_THROW(encoder.decode(pt), InvalidArgument);
+}
+
+class EncoderDegreeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(EncoderDegreeSweep, PrecisionScalesWithDegree) {
+  const int log_n = GetParam();
+  auto ctx = CkksContext::create(CkksParams::test_small(log_n, 2));
+  CkksEncoder encoder(ctx);
+  const auto slots = random_slots(encoder.slots(), 77);
+  const Plaintext pt = encoder.encode(slots, 2);
+  const auto decoded = encoder.decode(pt);
+  const PrecisionReport r = compare_slots(slots, decoded);
+  // Rounding error ~ sqrt(N)/Delta: precision falls ~0.5 bit per log_n
+  // step; just require a sane floor here.
+  EXPECT_GT(r.precision_bits, 24.0 - log_n) << "log_n=" << log_n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, EncoderDegreeSweep,
+                         ::testing::Values(6, 8, 10, 12));
+
+}  // namespace
+}  // namespace abc::ckks

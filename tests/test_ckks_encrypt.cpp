@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "ckks/decryptor.hpp"
+#include "ckks/encoder.hpp"
+#include "ckks/encryptor.hpp"
+#include "transform/op_counter.hpp"
+
+namespace abc::ckks {
+namespace {
+
+std::vector<std::complex<double>> random_slots(std::size_t count, u64 seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  std::vector<std::complex<double>> v(count);
+  for (auto& z : v) z = {dist(rng), dist(rng)};
+  return v;
+}
+
+struct Fixture {
+  std::shared_ptr<const CkksContext> ctx;
+  CkksEncoder encoder;
+  KeyGenerator keygen;
+  SecretKey sk;
+  PublicKey pk;
+
+  explicit Fixture(int log_n = 10, std::size_t limbs = 3)
+      : ctx(CkksContext::create(CkksParams::test_small(log_n, limbs))),
+        encoder(ctx),
+        keygen(ctx),
+        sk(keygen.secret_key()),
+        pk(keygen.public_key(sk)) {}
+};
+
+TEST(CkksEncrypt, PublicKeyRoundtrip) {
+  Fixture f;
+  Encryptor enc(f.ctx, PublicKey{f.pk.b, f.pk.a});
+  Decryptor dec(f.ctx, f.sk);
+  const auto slots = random_slots(f.encoder.slots(), 1);
+  const Plaintext pt = f.encoder.encode(slots, f.ctx->max_limbs());
+  const Ciphertext ct = enc.encrypt(pt);
+  EXPECT_EQ(ct.size(), 2u);
+  EXPECT_FALSE(ct.compressed_c1.has_value());
+  const Plaintext decrypted = dec.decrypt(ct);
+  const auto decoded = f.encoder.decode(decrypted);
+  const PrecisionReport r = compare_slots(slots, decoded);
+  EXPECT_GT(r.precision_bits, 12.0);  // noise e adds ~sigma*sqrt terms
+}
+
+TEST(CkksEncrypt, SymmetricSeededRoundtrip) {
+  Fixture f;
+  Encryptor enc(f.ctx, f.sk);
+  Decryptor dec(f.ctx, f.sk);
+  const auto slots = random_slots(f.encoder.slots(), 2);
+  const Plaintext pt = f.encoder.encode(slots, f.ctx->max_limbs());
+  const Ciphertext ct = enc.encrypt(pt);
+  ASSERT_TRUE(ct.compressed_c1.has_value());
+  const Plaintext decrypted = dec.decrypt(ct);
+  const auto decoded = f.encoder.decode(decrypted);
+  const PrecisionReport r = compare_slots(slots, decoded);
+  EXPECT_GT(r.precision_bits, 12.0);
+}
+
+TEST(CkksEncrypt, CiphertextLooksUniform) {
+  // c1 of a public-key encryption is computationally indistinguishable
+  // from uniform; sanity-check the first moment per limb.
+  Fixture f;
+  Encryptor enc(f.ctx, PublicKey{f.pk.b, f.pk.a});
+  const Plaintext pt =
+      f.encoder.encode(random_slots(f.encoder.slots(), 3), 3);
+  const Ciphertext ct = enc.encrypt(pt);
+  for (std::size_t i = 0; i < ct.limbs(); ++i) {
+    const u64 q = f.ctx->poly_context()->modulus(i).value();
+    double mean = 0;
+    for (u64 v : ct.c(1).limb(i)) mean += static_cast<double>(v) / static_cast<double>(q);
+    mean /= static_cast<double>(f.ctx->n());
+    EXPECT_NEAR(mean, 0.5, 0.05);
+  }
+}
+
+TEST(CkksEncrypt, WrongKeyFailsToDecrypt) {
+  Fixture f;
+  Encryptor enc(f.ctx, PublicKey{f.pk.b, f.pk.a});
+  KeyGenerator other_gen(f.ctx);
+  (void)other_gen.secret_key();           // advance stream
+  SecretKey wrong = other_gen.secret_key();
+  Decryptor dec(f.ctx, wrong);
+  const auto slots = random_slots(f.encoder.slots(), 4);
+  const Plaintext pt = f.encoder.encode(slots, 2);
+  const Plaintext decrypted = dec.decrypt(enc.encrypt(pt));
+  const auto decoded = f.encoder.decode(decrypted);
+  const PrecisionReport r = compare_slots(slots, decoded);
+  EXPECT_GT(r.max_abs_error, 1.0);  // garbage, not the message
+}
+
+TEST(CkksEncrypt, EncryptionsAreDistinct) {
+  Fixture f;
+  Encryptor enc(f.ctx, PublicKey{f.pk.b, f.pk.a});
+  const Plaintext pt = f.encoder.encode(random_slots(8, 5), 2);
+  const Ciphertext a = enc.encrypt(pt);
+  const Ciphertext b = enc.encrypt(pt);
+  // Fresh mask/error per encryption: ciphertexts differ.
+  bool differs = false;
+  for (std::size_t j = 0; j < f.ctx->n() && !differs; ++j) {
+    differs = a.c(0).limb(0)[j] != b.c(0).limb(0)[j];
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(CkksEncrypt, LowerLevelEncryption) {
+  // Encrypting at 2 limbs (the paper's server-return level).
+  Fixture f(10, 4);
+  Encryptor enc(f.ctx, f.sk);
+  Decryptor dec(f.ctx, f.sk);
+  const auto slots = random_slots(f.encoder.slots(), 6);
+  const Plaintext pt = f.encoder.encode(slots, 2);
+  const Ciphertext ct = enc.encrypt(pt);
+  EXPECT_EQ(ct.limbs(), 2u);
+  const auto decoded = f.encoder.decode(dec.decrypt(ct));
+  EXPECT_GT(compare_slots(slots, decoded).precision_bits, 12.0);
+}
+
+TEST(CkksEncrypt, NttPassAccountingMatchesModes) {
+  // The declared NTT-passes-per-limb drive the accelerator scheduler; the
+  // software must execute exactly that many forward NTTs per limb.
+  Fixture f;
+  const std::size_t limbs = 3;
+  const std::size_t n = f.ctx->n();
+  const u64 fwd_ntt_muls = (n / 2) * static_cast<u64>(f.ctx->params().log_n);
+
+  const Plaintext pt = f.encoder.encode(random_slots(8, 7), limbs);
+
+  {
+    Encryptor enc(f.ctx, PublicKey{f.pk.b, f.pk.a});
+    xf::OpCounterScope scope;
+    (void)enc.encrypt(pt);
+    const u64 got = scope.delta().ntt_mul;
+    EXPECT_EQ(got, fwd_ntt_muls * limbs *
+                       static_cast<u64>(ntt_passes_per_limb(
+                           EncryptMode::kPublicKey)));
+  }
+  {
+    Encryptor enc(f.ctx, f.sk);
+    xf::OpCounterScope scope;
+    (void)enc.encrypt(pt);
+    const u64 got = scope.delta().ntt_mul;
+    EXPECT_EQ(got, fwd_ntt_muls * limbs *
+                       static_cast<u64>(ntt_passes_per_limb(
+                           EncryptMode::kSymmetricSeeded)));
+  }
+}
+
+TEST(CkksEncrypt, DifferentSeedsGiveDifferentKeys) {
+  CkksParams p1 = CkksParams::test_small();
+  CkksParams p2 = CkksParams::test_small();
+  p2.seed[0] ^= 0xff;
+  auto c1 = CkksContext::create(p1);
+  auto c2 = CkksContext::create(p2);
+  KeyGenerator g1(c1), g2(c2);
+  const SecretKey s1 = g1.secret_key();
+  const SecretKey s2 = g2.secret_key();
+  bool differs = false;
+  for (std::size_t j = 0; j < c1->n() && !differs; ++j) {
+    differs = s1.s.limb(0)[j] != s2.s.limb(0)[j];
+  }
+  EXPECT_TRUE(differs);
+}
+
+}  // namespace
+}  // namespace abc::ckks

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "common/bigint.hpp"
+#include "common/bitops.hpp"
+#include "common/math_util.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace abc {
+namespace {
+
+TEST(Bitops, PowerOfTwo) {
+  EXPECT_TRUE(is_power_of_two(1));
+  EXPECT_TRUE(is_power_of_two(u64{1} << 63));
+  EXPECT_FALSE(is_power_of_two(0));
+  EXPECT_FALSE(is_power_of_two(3));
+  EXPECT_EQ(log2_exact(1), 0);
+  EXPECT_EQ(log2_exact(u64{1} << 16), 16);
+  EXPECT_THROW(log2_exact(6), InvalidArgument);
+}
+
+TEST(Bitops, BitReverse) {
+  EXPECT_EQ(bit_reverse(0b001, 3), 0b100u);
+  EXPECT_EQ(bit_reverse(0b110, 3), 0b011u);
+  for (u64 x = 0; x < 256; ++x) {
+    EXPECT_EQ(bit_reverse(bit_reverse(x, 8), 8), x);
+  }
+}
+
+TEST(Bitops, BitReversedIncrementMatchesExplicitReverse) {
+  constexpr int bits = 6;
+  u64 x = 0;
+  for (u64 i = 0; i + 1 < (u64{1} << bits); ++i) {
+    EXPECT_EQ(x, bit_reverse(i, bits));
+    x = bit_reversed_increment(x, bits);
+  }
+}
+
+TEST(Bitops, NafWeight) {
+  EXPECT_EQ(naf_weight(0), 0);
+  EXPECT_EQ(naf_weight(1), 1);
+  EXPECT_EQ(naf_weight(2), 1);
+  EXPECT_EQ(naf_weight(3), 2);    // 4 - 1
+  EXPECT_EQ(naf_weight(7), 2);    // 8 - 1
+  EXPECT_EQ(naf_weight(15), 2);   // 16 - 1
+  EXPECT_EQ(naf_weight(0b101010), 3);
+  EXPECT_EQ(naf_weight(-1), 1);
+}
+
+TEST(MathUtil, PowMod) {
+  EXPECT_EQ(pow_mod_u64(2, 10, 1000000007ull), 1024u);
+  EXPECT_EQ(pow_mod_u64(3, 0, 97), 1u);
+  // Fermat's little theorem.
+  constexpr u64 q = 1152921504606847009ull;  // 2^60 + small, prime
+  ASSERT_TRUE(is_prime_u64(q));
+  EXPECT_EQ(pow_mod_u64(12345, q - 1, q), 1u);
+}
+
+TEST(MathUtil, InverseMod) {
+  auto inv = inverse_mod_u64(3, 7);
+  ASSERT_TRUE(inv.has_value());
+  EXPECT_EQ((3 * *inv) % 7, 1u);
+  EXPECT_FALSE(inverse_mod_u64(6, 9).has_value());
+  constexpr u64 q = 1152921504606847009ull;
+  for (u64 a : {u64{2}, u64{12345}, q - 1, u64{987654321987654321ull % q}}) {
+    auto i = inverse_mod_u64(a, q);
+    ASSERT_TRUE(i.has_value());
+    EXPECT_EQ(mul_mod_u64(a, *i, q), 1u);
+  }
+}
+
+TEST(MathUtil, InverseModPow2) {
+  for (u64 a : {1ull, 3ull, 5ull, 0x123456789abcdef1ull, 0xffffffffffffffffull}) {
+    u64 inv = inverse_mod_pow2(a, 64);
+    EXPECT_EQ(a * inv, 1u) << a;  // mod 2^64 wrap
+    u64 inv44 = inverse_mod_pow2(a, 44);
+    EXPECT_EQ((a * inv44) & ((u64{1} << 44) - 1), 1u);
+  }
+}
+
+TEST(MathUtil, MillerRabinSmall) {
+  int primes = 0;
+  for (u64 n = 0; n < 2000; ++n) {
+    bool p = is_prime_u64(n);
+    // Cross-check with trial division.
+    bool ref = n >= 2;
+    for (u64 d = 2; d * d <= n && ref; ++d) {
+      if (n % d == 0) ref = false;
+    }
+    EXPECT_EQ(p, ref) << n;
+    primes += p;
+  }
+  EXPECT_EQ(primes, 303);  // pi(2000)
+}
+
+TEST(MathUtil, MillerRabinKnownLarge) {
+  EXPECT_TRUE(is_prime_u64(0xffffffffffffffc5ull));   // largest prime < 2^64
+  EXPECT_FALSE(is_prime_u64(0xffffffffffffffffull));
+  EXPECT_TRUE(is_prime_u64((u64{1} << 61) - 1));      // Mersenne prime M61
+  EXPECT_FALSE(is_prime_u64((u64{1} << 62) - 1));
+}
+
+TEST(BigUint, BasicArithmetic) {
+  BigUint a(5), b(7);
+  EXPECT_EQ((a + b).to_string(), "12");
+  EXPECT_EQ((b - a).to_string(), "2");
+  EXPECT_EQ((a * 1000000ull).to_string(), "5000000");
+  EXPECT_TRUE(BigUint{}.is_zero());
+}
+
+TEST(BigUint, CarryPropagation) {
+  BigUint a(~u64{0});
+  BigUint one(1);
+  BigUint s = a + one;
+  EXPECT_EQ(s.word_count(), 2u);
+  EXPECT_EQ(s.to_string(), "18446744073709551616");
+  EXPECT_EQ((s - one).compare(a), 0);
+}
+
+TEST(BigUint, MulWideAndMod) {
+  BigUint a(0xffffffffffffffffull);
+  BigUint sq = a * a;
+  // (2^64-1)^2 = 2^128 - 2^65 + 1
+  EXPECT_EQ(sq.to_string(), "340282366920938463426481119284349108225");
+  EXPECT_EQ(sq.mod_u64(1000000007ull), 114944269u);
+  // Self-consistency of mod(BigUint) against mod_u64.
+  BigUint m(999999999989ull);
+  EXPECT_EQ(sq.mod(m).to_string(), std::to_string(sq.mod_u64(999999999989ull)));
+}
+
+TEST(BigUint, ShiftLeft) {
+  BigUint one(1);
+  BigUint big = one;
+  big.shift_left(130);
+  EXPECT_EQ(big.bit_length(), 131);
+  EXPECT_EQ(big.mod_u64(3), pow_mod_u64(2, 130, 3));
+}
+
+TEST(BigUint, ToDoubleAndCentering) {
+  BigUint q(1000);
+  EXPECT_DOUBLE_EQ(centered_to_double(BigUint(1), q), 1.0);
+  EXPECT_DOUBLE_EQ(centered_to_double(BigUint(999), q), -1.0);
+  EXPECT_DOUBLE_EQ(centered_to_double(BigUint(500), q), 500.0);
+  EXPECT_DOUBLE_EQ(centered_to_double(BigUint(501), q), -499.0);
+}
+
+TEST(RunningStats, Moments) {
+  RunningStats s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_NEAR(s.variance(), 5.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+}
+
+}  // namespace
+}  // namespace abc

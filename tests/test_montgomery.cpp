@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "common/math_util.hpp"
+#include "rns/modmul_algorithms.hpp"
+#include "rns/montgomery.hpp"
+#include "rns/ntt_prime.hpp"
+
+namespace abc::rns {
+namespace {
+
+TEST(SignedPow2, DecomposeRoundtrip) {
+  std::mt19937_64 rng(7);
+  for (int bits : {8, 16, 36, 44, 64}) {
+    for (int i = 0; i < 500; ++i) {
+      const u64 mask = bits == 64 ? ~u64{0} : (u64{1} << bits) - 1;
+      const u64 v = rng() & mask;
+      const SignedPow2 d = SignedPow2::decompose(v, bits);
+      // apply(1) reconstructs v mod 2^bits.
+      EXPECT_EQ(d.apply(1, bits), v) << "bits=" << bits;
+      // Multiplying arbitrary x by v must match plain multiplication.
+      const u64 x = rng();
+      EXPECT_EQ(d.apply(x, bits), (x * v) & mask);
+    }
+  }
+}
+
+TEST(SignedPow2, WeightIsMinimalForKnownValues) {
+  EXPECT_EQ(SignedPow2::decompose(0, 44).weight(), 0);
+  EXPECT_EQ(SignedPow2::decompose(1, 44).weight(), 1);
+  EXPECT_EQ(SignedPow2::decompose((u64{1} << 20) - 1, 44).weight(), 2);
+  EXPECT_EQ(SignedPow2::decompose((u64{1} << 43) + 1, 44).weight(), 2);
+  // 2^44 - 1 == -1 mod 2^44: single signed term.
+  EXPECT_EQ(SignedPow2::decompose((u64{1} << 44) - 1, 44).weight(), 1);
+}
+
+class MontgomeryParamTest
+    : public ::testing::TestWithParam<std::tuple<u64, int>> {};
+
+TEST_P(MontgomeryParamTest, RedcMatchesDefinition) {
+  const auto [q, r] = GetParam();
+  const Montgomery mont(q, r);
+  // R * R^{-1} == 1 (mod q)
+  const u64 r_mod_q = r == 64 ? (~u64{0} % q + 1) % q : (u64{1} << r) % q;
+  std::mt19937_64 rng(11);
+  for (int i = 0; i < 2000; ++i) {
+    const u64 a = rng() % q;
+    const u64 b = rng() % q;
+    const u128 t = mul_wide(a, b);
+    const u64 reduced = mont.redc(t);
+    // redc(t) * R == t (mod q)
+    EXPECT_EQ(mul_mod_u64(reduced, r_mod_q, q),
+              static_cast<u64>(t % q));
+  }
+}
+
+TEST_P(MontgomeryParamTest, ShiftAddPathIsBitExact) {
+  const auto [q, r] = GetParam();
+  const Montgomery mont(q, r);
+  std::mt19937_64 rng(12);
+  for (int i = 0; i < 2000; ++i) {
+    const u64 a = rng() % q;
+    const u64 b = rng() % q;
+    const u128 t = mul_wide(a, b);
+    EXPECT_EQ(mont.redc(t), mont.redc_shift_add(t));
+  }
+}
+
+TEST_P(MontgomeryParamTest, DomainRoundtrip) {
+  const auto [q, r] = GetParam();
+  const Montgomery mont(q, r);
+  std::mt19937_64 rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const u64 a = rng() % q;
+    EXPECT_EQ(mont.from_mont(mont.to_mont(a)), a);
+    const u64 b = rng() % q;
+    const u64 prod = mont.from_mont(mont.mul(mont.to_mont(a), mont.to_mont(b)));
+    EXPECT_EQ(prod, mul_mod_u64(a, b, q));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Radices, MontgomeryParamTest,
+    ::testing::Values(std::make_tuple((u64{1} << 36) - (u64{1} << 18) + 1, 44),
+                      std::make_tuple((u64{1} << 36) - (u64{1} << 18) + 1, 64),
+                      std::make_tuple(u64{97}, 8),
+                      std::make_tuple(u64{0x7fffffff}, 32),
+                      std::make_tuple(u64{4611686018427387847ull}, 64)));
+
+TEST(Montgomery, RejectsEvenModulusAndBadRadix) {
+  EXPECT_THROW(Montgomery(100, 44), InvalidArgument);
+  EXPECT_THROW(Montgomery(97, 7), InvalidArgument);   // R <= q
+  EXPECT_THROW(Montgomery(97, 65), InvalidArgument);  // R > 2^64
+}
+
+// --- Hardware datapath models (Table I rows) -----------------------------
+
+class HwModMulTest : public ::testing::TestWithParam<u64> {};
+
+TEST_P(HwModMulTest, AllThreeAlgorithmsAgree) {
+  const u64 q = GetParam();
+  auto all = make_all_modmuls(q, 44);
+  std::mt19937_64 rng(21);
+  for (int i = 0; i < 1000; ++i) {
+    const u64 a = rng() % q;
+    const u64 b = rng() % q;
+    const u64 expected = mul_mod_u64(a, b, q);
+    for (const auto& mm : all) {
+      EXPECT_EQ(mm->mul(a, b), expected) << mm->name();
+    }
+  }
+}
+
+TEST_P(HwModMulTest, CostStructureMatchesPaper) {
+  const u64 q = GetParam();
+  auto all = make_all_modmuls(q, 44);
+  // Table I: Barrett has 4 stages, both Montgomery variants 3.
+  EXPECT_EQ(all[0]->pipeline_stages(), 4);
+  EXPECT_EQ(all[1]->pipeline_stages(), 3);
+  EXPECT_EQ(all[2]->pipeline_stages(), 3);
+  // Multiplier counts: 3 / 3 / 1.
+  EXPECT_EQ(all[0]->cost(44).multipliers.size(), 3u);
+  EXPECT_EQ(all[1]->cost(44).multipliers.size(), 3u);
+  EXPECT_EQ(all[2]->cost(44).multipliers.size(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Primes, HwModMulTest,
+    ::testing::Values((u64{1} << 36) - (u64{1} << 18) + 1,
+                      (u64{1} << 36) + (u64{3} << 17) + 1,
+                      u64{786433},  // 2^18*3 + 1, NTT prime
+                      (u64{1} << 42) - (u64{1} << 20) + 1));
+
+TEST(NttFriendlyModMul, SparsePrimesHaveSparseQinv) {
+  // For every sparse 36-bit prime at N=2^16, the NTT-friendly Montgomery
+  // multiplier must see a low shift-add cost: that is the whole point of
+  // the paper's prime-selection methodology.
+  auto primes = enumerate_sparse_ntt_primes(36, 16, 3, 44);
+  ASSERT_FALSE(primes.empty());
+  for (const auto& info : primes) {
+    NttFriendlyMontgomeryHwModMul mm(info.value, 44);
+    EXPECT_LE(mm.q_weight(), 5) << info.value;
+    // QInv = 1 - x + x^2 ... stays sparse for sparse q (paper eq. 11).
+    EXPECT_LE(mm.qinv_weight(), 16) << info.value;
+    std::mt19937_64 rng(info.value);
+    for (int i = 0; i < 50; ++i) {
+      const u64 a = rng() % info.value;
+      const u64 b = rng() % info.value;
+      EXPECT_EQ(mm.mul(a, b), mul_mod_u64(a, b, info.value));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace abc::rns

@@ -1,0 +1,111 @@
+// Noise-estimator validation: the analytic bounds must (a) actually bound
+// the measured noise and (b) stay within a sane factor of it, across
+// parameter sets and both encryption modes.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "ckks/encryptor.hpp"
+#include "ckks/noise.hpp"
+
+namespace abc::ckks {
+namespace {
+
+struct NoiseCase {
+  int log_n;
+  std::size_t limbs;
+  EncryptMode mode;
+};
+
+class NoiseBoundTest : public ::testing::TestWithParam<NoiseCase> {};
+
+TEST_P(NoiseBoundTest, BoundHoldsAndIsNotVacuous) {
+  const NoiseCase c = GetParam();
+  const CkksParams params = CkksParams::test_small(c.log_n, c.limbs);
+  auto ctx = CkksContext::create(params);
+  CkksEncoder encoder(ctx);
+  KeyGenerator keygen(ctx);
+  const SecretKey sk = keygen.secret_key();
+  std::unique_ptr<Encryptor> enc;
+  if (c.mode == EncryptMode::kPublicKey) {
+    enc = std::make_unique<Encryptor>(ctx, keygen.public_key(sk));
+  } else {
+    enc = std::make_unique<Encryptor>(ctx, sk);
+  }
+  Decryptor dec(ctx, sk);
+
+  std::mt19937_64 rng(c.log_n);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  std::vector<std::complex<double>> msg(encoder.slots());
+  for (auto& z : msg) z = {dist(rng), dist(rng)};
+
+  const double bound =
+      slot_error_bound(fresh_noise_bound(params, c.mode), params.scale());
+  double worst = 0.0;
+  for (int trial = 0; trial < 3; ++trial) {
+    const Ciphertext ct = enc->encrypt(encoder.encode(msg, c.limbs));
+    worst = std::max(worst, measured_slot_noise(ct, dec, encoder, msg));
+  }
+  EXPECT_LT(worst, bound) << "bound violated";
+  // High-probability bounds overshoot typical noise, but not absurdly.
+  EXPECT_GT(worst, bound / 5000.0) << "bound is vacuous";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, NoiseBoundTest,
+    ::testing::Values(NoiseCase{10, 2, EncryptMode::kPublicKey},
+                      NoiseCase{10, 2, EncryptMode::kSymmetricSeeded},
+                      NoiseCase{11, 4, EncryptMode::kPublicKey},
+                      NoiseCase{12, 3, EncryptMode::kSymmetricSeeded}));
+
+TEST(Noise, SymmetricIsQuieterThanPublicKey) {
+  const CkksParams params = CkksParams::test_small(12, 3);
+  EXPECT_LT(fresh_noise_bound(params, EncryptMode::kSymmetricSeeded),
+            fresh_noise_bound(params, EncryptMode::kPublicKey));
+  EXPECT_GT(
+      fresh_precision_bound_bits(params, EncryptMode::kSymmetricSeeded),
+      fresh_precision_bound_bits(params, EncryptMode::kPublicKey));
+}
+
+TEST(Noise, BoundScalesWithDegreeAndSigma) {
+  CkksParams small = CkksParams::test_small(10, 2);
+  CkksParams large = CkksParams::test_small(14, 2);
+  EXPECT_LT(fresh_noise_bound(small, EncryptMode::kPublicKey),
+            fresh_noise_bound(large, EncryptMode::kPublicKey));
+  CkksParams noisy = small;
+  noisy.error_sigma = 6.4;
+  EXPECT_LT(fresh_noise_bound(small, EncryptMode::kPublicKey),
+            fresh_noise_bound(noisy, EncryptMode::kPublicKey));
+}
+
+TEST(Noise, AdditionAddsNoiseLinearly) {
+  const CkksParams params = CkksParams::test_small(10, 3);
+  auto ctx = CkksContext::create(params);
+  CkksEncoder encoder(ctx);
+  KeyGenerator keygen(ctx);
+  const SecretKey sk = keygen.secret_key();
+  Encryptor enc(ctx, keygen.public_key(sk));
+  Decryptor dec(ctx, sk);
+
+  std::vector<std::complex<double>> msg(encoder.slots(), {0.25, -0.5});
+  Ciphertext acc = enc.encrypt(encoder.encode(msg, 3));
+  std::vector<std::complex<double>> expect = msg;
+  // Sum 8 fresh encryptions; noise should stay near 8x fresh, far below
+  // 8x the high-probability bound.
+  for (int i = 0; i < 7; ++i) {
+    const Ciphertext ct = enc.encrypt(encoder.encode(msg, 3));
+    for (std::size_t j = 0; j < acc.size(); ++j) {
+      acc.c(j).add_inplace(ct.c(j));
+    }
+    for (std::size_t s = 0; s < expect.size(); ++s) expect[s] += msg[s];
+  }
+  const double measured = measured_slot_noise(acc, dec, encoder, expect);
+  const double single_bound =
+      slot_error_bound(fresh_noise_bound(params, EncryptMode::kPublicKey),
+                       params.scale());
+  EXPECT_LT(measured, 8.0 * single_bound);
+}
+
+}  // namespace
+}  // namespace abc::ckks

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "common/stats.hpp"
+#include "prng/chacha20.hpp"
+#include "prng/samplers.hpp"
+
+namespace abc::prng {
+namespace {
+
+TEST(ChaCha20Block, Rfc8439TestVector) {
+  // RFC 8439 Section 2.3.2 test vector.
+  std::array<u32, 8> key;
+  for (int i = 0; i < 8; ++i) {
+    // key bytes 00 01 02 ... 1f, little-endian words
+    key[static_cast<std::size_t>(i)] =
+        static_cast<u32>(4 * i) | (static_cast<u32>(4 * i + 1) << 8) |
+        (static_cast<u32>(4 * i + 2) << 16) |
+        (static_cast<u32>(4 * i + 3) << 24);
+  }
+  const std::array<u32, 3> nonce = {0x09000000u, 0x4a000000u, 0x00000000u};
+  std::array<u8, 64> out{};
+  chacha20_block(key, 1, nonce, out);
+  const std::array<u8, 64> expected = {
+      0x10, 0xf1, 0xe7, 0xe4, 0xd1, 0x3b, 0x59, 0x15, 0x50, 0x0f, 0xdd,
+      0x1f, 0xa3, 0x20, 0x71, 0xc4, 0xc7, 0xd1, 0xf4, 0xc7, 0x33, 0xc0,
+      0x68, 0x03, 0x04, 0x22, 0xaa, 0x9a, 0xc3, 0xd4, 0x6c, 0x4e, 0xd2,
+      0x82, 0x64, 0x46, 0x07, 0x9f, 0xaa, 0x09, 0x14, 0xc2, 0xd7, 0x05,
+      0xd9, 0x8b, 0x02, 0xa2, 0xb5, 0x12, 0x9c, 0xd1, 0xde, 0x16, 0x4e,
+      0xb9, 0xcb, 0xd0, 0x83, 0xe8, 0xa2, 0x50, 0x3c, 0x4e};
+  EXPECT_EQ(out, expected);
+}
+
+TEST(ChaCha20, DeterministicAndStreamSeparated) {
+  const std::array<u8, 16> seed = {1, 2, 3, 4, 5, 6, 7, 8,
+                                   9, 10, 11, 12, 13, 14, 15, 16};
+  ChaCha20 a(seed, 0), b(seed, 0), c(seed, 1), d(seed, 0, /*domain=*/7);
+  for (int i = 0; i < 100; ++i) {
+    const u64 va = a.next_u64();
+    EXPECT_EQ(va, b.next_u64());
+    EXPECT_NE(va, c.next_u64());
+    EXPECT_NE(va, d.next_u64());
+  }
+}
+
+TEST(ChaCha20, DoubleInUnitInterval) {
+  ChaCha20 rng({}, 0);
+  RunningStats s;
+  for (int i = 0; i < 20000; ++i) {
+    const double x = rng.next_double();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    s.add(x);
+  }
+  EXPECT_NEAR(s.mean(), 0.5, 0.01);
+  EXPECT_NEAR(s.variance(), 1.0 / 12.0, 0.005);
+}
+
+TEST(ChaCha20, ByteUniformityChiSquared) {
+  ChaCha20 rng({42}, 3);
+  std::array<u64, 256> hist{};
+  constexpr int kSamples = 1 << 16;
+  std::vector<u8> buf(kSamples);
+  rng.fill_bytes(buf);
+  for (u8 b : buf) ++hist[b];
+  const double expected = kSamples / 256.0;
+  double chi2 = 0;
+  for (u64 h : hist) {
+    const double d = static_cast<double>(h) - expected;
+    chi2 += d * d / expected;
+  }
+  // 255 dof: mean 255, sd ~22.6. Accept +/- 6 sigma.
+  EXPECT_GT(chi2, 255 - 6 * 22.6);
+  EXPECT_LT(chi2, 255 + 6 * 22.6);
+}
+
+TEST(UniformModSampler, BoundsAndUniformity) {
+  const u64 q = (u64{1} << 36) - (u64{1} << 18) + 1;
+  UniformModSampler sampler(q);
+  ChaCha20 rng({9}, 0);
+  RunningStats s;
+  for (int i = 0; i < 50000; ++i) {
+    const u64 v = sampler.sample(rng);
+    ASSERT_LT(v, q);
+    s.add(static_cast<double>(v) / static_cast<double>(q));
+  }
+  EXPECT_NEAR(s.mean(), 0.5, 0.01);
+  EXPECT_NEAR(s.variance(), 1.0 / 12.0, 0.01);
+}
+
+TEST(TernarySampler, BalancedDistribution) {
+  TernarySampler sampler;
+  ChaCha20 rng({5}, 0);
+  std::vector<i8> out(60000);
+  sampler.sample_many(rng, out);
+  std::map<i8, int> hist;
+  for (i8 v : out) ++hist[v];
+  ASSERT_EQ(hist.size(), 3u);
+  for (auto [value, count] : hist) {
+    EXPECT_GE(value, -1);
+    EXPECT_LE(value, 1);
+    EXPECT_NEAR(count, 20000, 800);  // ~5 sigma of binomial(60000, 1/3)
+  }
+}
+
+TEST(DiscreteGaussian, MomentsMatchSigma) {
+  DiscreteGaussianSampler sampler(3.2);
+  ChaCha20 rng({17}, 0);
+  RunningStats s;
+  for (int i = 0; i < 100000; ++i) {
+    s.add(static_cast<double>(sampler.sample(rng)));
+  }
+  EXPECT_NEAR(s.mean(), 0.0, 0.05);
+  EXPECT_NEAR(s.stddev(), 3.2, 0.08);
+  EXPECT_LE(std::abs(s.max()), sampler.tail());
+  EXPECT_LE(std::abs(s.min()), sampler.tail());
+}
+
+TEST(DiscreteGaussian, TailCutRespected) {
+  DiscreteGaussianSampler sampler(0.5);
+  ChaCha20 rng({23}, 0);
+  for (int i = 0; i < 20000; ++i) {
+    EXPECT_LE(std::abs(sampler.sample(rng)), sampler.tail());
+  }
+}
+
+TEST(DiscreteGaussian, SigmaSweepIsConsistent) {
+  for (double sigma : {1.0, 2.0, 3.2, 6.4}) {
+    DiscreteGaussianSampler sampler(sigma);
+    ChaCha20 rng({static_cast<u8>(sigma * 10)}, 0);
+    RunningStats s;
+    for (int i = 0; i < 40000; ++i) {
+      s.add(static_cast<double>(sampler.sample(rng)));
+    }
+    EXPECT_NEAR(s.stddev(), sigma, 0.05 * sigma + 0.02) << sigma;
+  }
+}
+
+}  // namespace
+}  // namespace abc::prng

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "rns/ntt_prime.hpp"
+#include "rns/rns_basis.hpp"
+
+namespace abc::rns {
+namespace {
+
+RnsBasis make_basis(std::size_t count) {
+  return RnsBasis(select_prime_chain(36, 16, count));
+}
+
+TEST(RnsBasis, RejectsDuplicates) {
+  EXPECT_THROW(RnsBasis({97, 97}), InvalidArgument);
+  EXPECT_THROW(RnsBasis({}), InvalidArgument);
+}
+
+TEST(RnsBasis, ProductGrowsMonotonically) {
+  const RnsBasis basis = make_basis(4);
+  for (std::size_t l = 1; l < 4; ++l) {
+    EXPECT_LT(basis.product(l).bit_length(), basis.product(l + 1).bit_length());
+  }
+  EXPECT_NEAR(basis.product(4).bit_length(), 4 * 36, 4);
+}
+
+TEST(RnsBasis, DecomposeComposeRoundtripSmallValues) {
+  const RnsBasis basis = make_basis(3);
+  CrtComposer composer(basis, 3);
+  std::vector<u64> residues(3);
+  std::mt19937_64 rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    const i64 x = static_cast<i64>(rng() % (u64{1} << 52)) -
+                  (i64{1} << 51);
+    basis.decompose_i64(x, residues);
+    EXPECT_DOUBLE_EQ(composer.compose_centered(residues),
+                     static_cast<double>(x));
+  }
+}
+
+TEST(RnsBasis, ComposeExactMatchesCenteredSign) {
+  const RnsBasis basis = make_basis(2);
+  CrtComposer composer(basis, 2);
+  std::vector<u64> residues(2);
+  basis.decompose_i64(-12345, residues);
+  const BigUint exact = composer.compose_exact(residues);
+  // exact == Q - 12345
+  BigUint expected = basis.product(2);
+  expected.sub(BigUint(12345));
+  EXPECT_EQ(exact.compare(expected), 0);
+}
+
+TEST(RnsBasis, CrtReconstructionPropertyAcrossLevels) {
+  // Random residue vectors (not from a small value): compose_exact must be
+  // the unique element of [0, Q) matching every residue.
+  const RnsBasis basis = make_basis(6);
+  std::mt19937_64 rng(5);
+  for (std::size_t limbs : {2u, 4u, 6u}) {
+    CrtComposer composer(basis, limbs);
+    std::vector<u64> residues(limbs);
+    for (int iter = 0; iter < 50; ++iter) {
+      for (std::size_t i = 0; i < limbs; ++i) {
+        residues[i] = rng() % basis.modulus(i).value();
+      }
+      const BigUint x = composer.compose_exact(residues);
+      EXPECT_TRUE(x < basis.product(limbs) || x == basis.product(limbs));
+      for (std::size_t i = 0; i < limbs; ++i) {
+        EXPECT_EQ(x.mod_u64(basis.modulus(i).value()), residues[i]);
+      }
+    }
+  }
+}
+
+TEST(RnsBasis, ComposerHandlesExtremes) {
+  const RnsBasis basis = make_basis(2);
+  CrtComposer composer(basis, 2);
+  std::vector<u64> residues(2);
+  basis.decompose_i64(0, residues);
+  EXPECT_DOUBLE_EQ(composer.compose_centered(residues), 0.0);
+  // Q-1 == -1 centered.
+  for (std::size_t i = 0; i < 2; ++i) residues[i] = basis.modulus(i).value() - 1;
+  EXPECT_DOUBLE_EQ(composer.compose_centered(residues), -1.0);
+}
+
+}  // namespace
+}  // namespace abc::rns

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "ckks/decryptor.hpp"
+#include "ckks/encoder.hpp"
+#include "ckks/encryptor.hpp"
+#include "ckks/serialize.hpp"
+
+namespace abc::ckks {
+namespace {
+
+TEST(BitPacker, RoundtripVariousWidths) {
+  std::mt19937_64 rng(1);
+  for (int bits : {1, 7, 8, 13, 36, 44, 57}) {
+    BitPacker packer;
+    std::vector<u64> values(257);
+    const u64 mask = bits == 64 ? ~u64{0} : (u64{1} << bits) - 1;
+    for (u64& v : values) {
+      v = rng() & mask;
+      packer.append(v, bits);
+    }
+    const std::vector<u8> bytes = packer.finish();
+    EXPECT_EQ(bytes.size(), (values.size() * bits + 7) / 8);
+    BitUnpacker unpacker(bytes);
+    for (u64 v : values) EXPECT_EQ(unpacker.read(bits), v) << bits;
+  }
+}
+
+TEST(BitPacker, RejectsOversizedValues) {
+  BitPacker packer;
+  EXPECT_THROW(packer.append(1u << 9, 9), InvalidArgument);
+  EXPECT_THROW(packer.append(0, 58), InvalidArgument);
+}
+
+TEST(BitUnpacker, TruncationDetected) {
+  BitPacker packer;
+  packer.append(0x7f, 8);
+  const auto bytes = packer.finish();
+  BitUnpacker unpacker(bytes);
+  (void)unpacker.read(8);
+  EXPECT_THROW(unpacker.read(8), InvalidArgument);
+}
+
+struct Fixture {
+  std::shared_ptr<const CkksContext> ctx;
+  CkksEncoder encoder;
+  KeyGenerator keygen;
+  SecretKey sk;
+  Decryptor dec;
+
+  Fixture()
+      : ctx(CkksContext::create(CkksParams::test_small(10, 3))),
+        encoder(ctx),
+        keygen(ctx),
+        sk(keygen.secret_key()),
+        dec(ctx, sk) {}
+
+  std::vector<std::complex<double>> message(u64 seed) {
+    std::mt19937_64 rng(seed);
+    std::uniform_real_distribution<double> dist(-1.0, 1.0);
+    std::vector<std::complex<double>> msg(encoder.slots());
+    for (auto& z : msg) z = {dist(rng), dist(rng)};
+    return msg;
+  }
+};
+
+TEST(Serialize, PublicKeyCiphertextRoundtrip) {
+  Fixture f;
+  Encryptor enc(f.ctx, f.keygen.public_key(f.sk));
+  const auto msg = f.message(2);
+  const Ciphertext ct = enc.encrypt(f.encoder.encode(msg, 3));
+  const std::vector<u8> bytes = serialize_ciphertext(ct, 44);
+  // Size = header + 2 components x 3 limbs x N x 44 bits.
+  const std::size_t payload_bits = 2ull * 3 * f.ctx->n() * 44;
+  EXPECT_NEAR(static_cast<double>(bytes.size()),
+              static_cast<double>(payload_bits / 8), 64.0);
+  const Ciphertext restored = deserialize_ciphertext(f.ctx, bytes);
+  EXPECT_EQ(restored.limbs(), ct.limbs());
+  EXPECT_DOUBLE_EQ(restored.scale, ct.scale);
+  const auto decoded = f.encoder.decode(f.dec.decrypt(restored));
+  EXPECT_GT(compare_slots(msg, decoded).precision_bits, 12.0);
+}
+
+TEST(Serialize, CompressedCiphertextRegeneratesC1) {
+  Fixture f;
+  Encryptor enc(f.ctx, f.sk);
+  const auto msg = f.message(3);
+  const Ciphertext ct = enc.encrypt(f.encoder.encode(msg, 3));
+  ASSERT_TRUE(ct.compressed_c1.has_value());
+  const std::vector<u8> bytes = serialize_ciphertext(ct, 44);
+  // Compressed form carries only one polynomial payload.
+  const std::size_t one_poly_bits = 3ull * f.ctx->n() * 44;
+  EXPECT_LT(bytes.size(), one_poly_bits / 8 + 128);
+  const Ciphertext restored = deserialize_ciphertext(f.ctx, bytes);
+  for (std::size_t l = 0; l < 3; ++l) {
+    EXPECT_TRUE(std::equal(restored.c(1).limb(l).begin(),
+                           restored.c(1).limb(l).end(),
+                           ct.c(1).limb(l).begin()));
+  }
+  const auto decoded = f.encoder.decode(f.dec.decrypt(restored));
+  EXPECT_GT(compare_slots(msg, decoded).precision_bits, 12.0);
+}
+
+TEST(Serialize, CorruptBufferRejected) {
+  Fixture f;
+  Encryptor enc(f.ctx, f.sk);
+  const Ciphertext ct = enc.encrypt(f.encoder.encode(f.message(4), 2));
+  std::vector<u8> bytes = serialize_ciphertext(ct, 44);
+  bytes[0] ^= 0xff;  // break the magic
+  EXPECT_THROW(deserialize_ciphertext(f.ctx, bytes), InvalidArgument);
+  std::vector<u8> truncated(serialize_ciphertext(ct, 44));
+  truncated.resize(truncated.size() / 2);
+  EXPECT_THROW(deserialize_ciphertext(f.ctx, truncated), InvalidArgument);
+}
+
+TEST(Serialize, WidthTooNarrowRejected) {
+  Fixture f;
+  Encryptor enc(f.ctx, f.sk);
+  const Ciphertext ct = enc.encrypt(f.encoder.encode(f.message(5), 2));
+  // 36-bit residues do not fit 20-bit packing.
+  EXPECT_THROW(serialize_ciphertext(ct, 20), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace abc::ckks

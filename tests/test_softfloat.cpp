@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "transform/softfloat.hpp"
+
+namespace abc::xf {
+namespace {
+
+TEST(RoundMantissa, FullPrecisionIsIdentity) {
+  for (double x : {0.0, 1.0, -3.14159, 1e300, 1e-300}) {
+    EXPECT_EQ(round_mantissa(x, 52), x);
+  }
+}
+
+TEST(RoundMantissa, KnownRoundings) {
+  // 1 + 2^-20 rounds away at 10 mantissa bits, survives at 20.
+  const double x = 1.0 + std::ldexp(1.0, -20);
+  EXPECT_EQ(round_mantissa(x, 10), 1.0);
+  EXPECT_EQ(round_mantissa(x, 20), x);
+  // Round-to-nearest-even at the halfway point: 1 + 2^-11 with 10 bits is
+  // exactly halfway between 1 and 1 + 2^-10 -> rounds to even (1.0).
+  EXPECT_EQ(round_mantissa(1.0 + std::ldexp(1.0, -11), 10), 1.0);
+  // 1 + 3*2^-11 is halfway between 1+2^-10 and 1+2^-9 -> even is 1+2^-9.
+  EXPECT_EQ(round_mantissa(1.0 + 3 * std::ldexp(1.0, -11), 10),
+            1.0 + std::ldexp(1.0, -9));
+}
+
+TEST(RoundMantissa, CarryIntoExponent) {
+  // Just below 2.0: rounds up to exactly 2.0 at low precision.
+  const double x = std::nextafter(2.0, 0.0);
+  EXPECT_EQ(round_mantissa(x, 8), 2.0);
+}
+
+TEST(RoundMantissa, ErrorBounded) {
+  for (int bits : {10, 23, 43}) {
+    for (double x : {1.234567890123, -9.87654321e5, 3.337e-7}) {
+      const double r = round_mantissa(x, bits);
+      EXPECT_LE(std::abs(r - x), std::abs(x) * std::ldexp(1.0, -bits))
+          << "bits=" << bits << " x=" << x;
+    }
+  }
+}
+
+TEST(FpPrecision, ScopedAndRestored) {
+  EXPECT_EQ(FpPrecision::mantissa_bits(), 52);
+  {
+    FpPrecision guard(43);
+    EXPECT_EQ(FpPrecision::mantissa_bits(), 43);
+    {
+      FpPrecision inner(20);
+      EXPECT_EQ(FpPrecision::mantissa_bits(), 20);
+    }
+    EXPECT_EQ(FpPrecision::mantissa_bits(), 43);
+  }
+  EXPECT_EQ(FpPrecision::mantissa_bits(), 52);
+  EXPECT_THROW(FpPrecision(0), InvalidArgument);
+  EXPECT_THROW(FpPrecision(53), InvalidArgument);
+}
+
+TEST(Rounded, ArithmeticRoundsEachStep) {
+  FpPrecision guard(10);
+  Rounded a(1.0);
+  Rounded b(std::ldexp(1.0, -12));  // rounds to a subnormal-ish tiny value
+  // Adding a value below half-ulp of 1.0 must vanish.
+  EXPECT_EQ((a + b).v, 1.0);
+  // Multiplication rounds the product.
+  Rounded c(1.0 + std::ldexp(1.0, -10));
+  EXPECT_EQ((c * c).v, 1.0 + std::ldexp(1.0, -9));  // (1+e)^2 ~ 1+2e
+}
+
+TEST(Cx, ComplexMultiplicationMatchesStd) {
+  const Cx<double> a{1.5, -2.5};
+  const Cx<double> b{-0.25, 4.0};
+  const Cx<double> p = a * b;
+  EXPECT_DOUBLE_EQ(p.re, 1.5 * -0.25 - (-2.5) * 4.0);
+  EXPECT_DOUBLE_EQ(p.im, 1.5 * 4.0 + (-2.5) * -0.25);
+  const Cx<double> sum = a + b;
+  EXPECT_DOUBLE_EQ(sum.re, 1.25);
+  EXPECT_DOUBLE_EQ(sum.im, 1.5);
+  EXPECT_DOUBLE_EQ(cx_abs(Cx<double>{3.0, 4.0}), 5.0);
+}
+
+TEST(Cx, UnitCirclePowersStayBounded) {
+  FpPrecision guard(43);  // FP55
+  Cx<Rounded> w{Rounded(std::cos(0.001)), Rounded(std::sin(0.001))};
+  Cx<Rounded> acc{Rounded(1.0), Rounded(0.0)};
+  for (int i = 0; i < 10000; ++i) acc = acc * w;
+  const double mag = cx_abs(acc);
+  EXPECT_NEAR(mag, 1.0, 1e-7);  // error accumulates slowly at 43 bits
+}
+
+}  // namespace
+}  // namespace abc::xf

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "rns/ntt_prime.hpp"
+#include "transform/twiddle.hpp"
+
+namespace abc::xf {
+namespace {
+
+TEST(OtfModularTwiddleGen, MatchesTablesAllStages) {
+  const rns::Modulus q(rns::select_prime_chain(36, 12, 1)[0]);
+  NttTables tables(q, 12);
+  for (int stage = 0; stage < 12; ++stage) {
+    EXPECT_TRUE(OtfModularTwiddleGen::matches_tables(tables, stage))
+        << "stage " << stage;
+  }
+}
+
+TEST(OtfModularTwiddleGen, GeometricSequence) {
+  const rns::Modulus q(rns::select_prime_chain(36, 10, 1)[0]);
+  NttTables tables(q, 10);
+  OtfModularTwiddleGen gen(tables, 5);
+  EXPECT_EQ(gen.count(), 32u);
+  u64 expected = gen.seed();
+  for (std::size_t j = 0; j < gen.count(); ++j) {
+    EXPECT_EQ(gen.next(), expected);
+    expected = q.mul(expected, gen.step());
+  }
+}
+
+TEST(OtfModularTwiddleGen, ExhaustionGuard) {
+  const rns::Modulus q(rns::select_prime_chain(36, 8, 1)[0]);
+  NttTables tables(q, 8);
+  OtfModularTwiddleGen gen(tables, 2);
+  for (int i = 0; i < 4; ++i) gen.next();
+  EXPECT_THROW(gen.next(), LogicError);
+}
+
+TEST(OtfComplexTwiddleGen, ErrorShrinksWithReseedInterval) {
+  CkksDwtPlan plan(14);
+  const int stage = 13;  // largest stage: 8192 twiddles
+  const double err_none =
+      OtfComplexTwiddleGen::max_error_vs_exact(plan, stage, 1u << 20);
+  const double err_256 =
+      OtfComplexTwiddleGen::max_error_vs_exact(plan, stage, 256);
+  const double err_16 =
+      OtfComplexTwiddleGen::max_error_vs_exact(plan, stage, 16);
+  EXPECT_LT(err_16, err_256);
+  EXPECT_LT(err_256, err_none);
+  // With reseeding every 128 steps the drift stays near double precision.
+  const double err_128 =
+      OtfComplexTwiddleGen::max_error_vs_exact(plan, stage, 128);
+  EXPECT_LT(err_128, 1e-13);
+}
+
+TEST(OtfComplexTwiddleGen, CountsReseeds) {
+  CkksDwtPlan plan(10);
+  OtfComplexTwiddleGen gen(plan, 9, 64);
+  for (std::size_t i = 0; i < gen.count(); ++i) gen.next();
+  EXPECT_EQ(gen.reseeds(), 512u / 64 - 1);
+}
+
+TEST(TwiddleSeedMemory, PaperBudgetReproduced) {
+  // Paper Sec. IV-B: twiddle tables would need ~8.25 MB; the OTF TF Gen
+  // needs ~26.4 KB of seed memory -> >99% reduction.
+  TwiddleSeedMemoryModel model;  // defaults: N=2^16, 24 primes, 44b/55b
+  const double seed_kb = model.total_seed_bytes() / 1024.0;
+  const double table_mb = model.full_table_bytes() / (1024.0 * 1024.0);
+  EXPECT_GT(seed_kb, 5.0);
+  EXPECT_LT(seed_kb, 60.0);
+  EXPECT_GT(table_mb, 5.0);
+  EXPECT_LT(table_mb, 12.0);
+  const double reduction = 1.0 - model.total_seed_bytes() / model.full_table_bytes();
+  EXPECT_GT(reduction, 0.99);
+}
+
+TEST(TwiddleSeedMemory, ScalesWithParameters) {
+  TwiddleSeedMemoryModel small{.log_n = 13, .num_primes = 4};
+  TwiddleSeedMemoryModel large{.log_n = 16, .num_primes = 24};
+  EXPECT_LT(small.total_seed_bytes(), large.total_seed_bytes());
+  EXPECT_LT(small.full_table_bytes(), large.full_table_bytes());
+  // Shorter reseed interval costs more seed memory.
+  TwiddleSeedMemoryModel dense{.reseed_interval = 16};
+  TwiddleSeedMemoryModel sparse{.reseed_interval = 512};
+  EXPECT_GT(dense.fft_seed_bytes(), sparse.fft_seed_bytes());
+}
+
+}  // namespace
+}  // namespace abc::xf
