@@ -1,0 +1,145 @@
+#include "backend/poly_backend.hpp"
+
+#include "backend/scalar_backend.hpp"
+#include "common/check.hpp"
+#include "poly/poly_context.hpp"
+#include "transform/op_counter.hpp"
+
+namespace abc::backend {
+
+namespace {
+
+/// One limb of an RnsPoly as a span, limb-major storage.
+std::span<u64> limb_of(std::span<u64> data, std::size_t i, std::size_t n) {
+  return data.subspan(i * n, n);
+}
+std::span<const u64> limb_of(std::span<const u64> data, std::size_t i,
+                             std::size_t n) {
+  return data.subspan(i * n, n);
+}
+
+}  // namespace
+
+void PolyBackend::ntt_forward(const poly::PolyContext& ctx,
+                              std::span<u64> data, std::size_t limbs) {
+  const std::size_t n = ctx.n();
+  parallel_for(limbs, [&](std::size_t i, std::size_t) {
+    ctx.ntt(i).forward(limb_of(data, i, n));
+  });
+}
+
+void PolyBackend::ntt_inverse(const poly::PolyContext& ctx,
+                              std::span<u64> data, std::size_t limbs) {
+  const std::size_t n = ctx.n();
+  parallel_for(limbs, [&](std::size_t i, std::size_t) {
+    ctx.ntt(i).inverse(limb_of(data, i, n));
+  });
+}
+
+void PolyBackend::add(const poly::PolyContext& ctx, std::span<u64> dst,
+                      std::span<const u64> src, std::size_t limbs) {
+  const std::size_t n = ctx.n();
+  parallel_for(limbs, [&](std::size_t i, std::size_t) {
+    const rns::Modulus& q = ctx.modulus(i);
+    std::span<u64> d = limb_of(dst, i, n);
+    std::span<const u64> s = limb_of(src, i, n);
+    for (std::size_t j = 0; j < n; ++j) d[j] = q.add(d[j], s[j]);
+    xf::op_counts().poly_add += n;
+  });
+}
+
+void PolyBackend::sub(const poly::PolyContext& ctx, std::span<u64> dst,
+                      std::span<const u64> src, std::size_t limbs) {
+  const std::size_t n = ctx.n();
+  parallel_for(limbs, [&](std::size_t i, std::size_t) {
+    const rns::Modulus& q = ctx.modulus(i);
+    std::span<u64> d = limb_of(dst, i, n);
+    std::span<const u64> s = limb_of(src, i, n);
+    for (std::size_t j = 0; j < n; ++j) d[j] = q.sub(d[j], s[j]);
+    xf::op_counts().poly_add += n;
+  });
+}
+
+void PolyBackend::mul(const poly::PolyContext& ctx, std::span<u64> dst,
+                      std::span<const u64> src, std::size_t limbs) {
+  const std::size_t n = ctx.n();
+  parallel_for(limbs, [&](std::size_t i, std::size_t) {
+    const rns::Modulus& q = ctx.modulus(i);
+    std::span<u64> d = limb_of(dst, i, n);
+    std::span<const u64> s = limb_of(src, i, n);
+    for (std::size_t j = 0; j < n; ++j) d[j] = q.mul(d[j], s[j]);
+    xf::op_counts().poly_mul += n;
+  });
+}
+
+void PolyBackend::fma(const poly::PolyContext& ctx, std::span<u64> dst,
+                      std::span<const u64> a, std::span<const u64> b,
+                      std::size_t limbs) {
+  const std::size_t n = ctx.n();
+  parallel_for(limbs, [&](std::size_t i, std::size_t) {
+    const rns::Modulus& q = ctx.modulus(i);
+    std::span<u64> d = limb_of(dst, i, n);
+    std::span<const u64> sa = limb_of(a, i, n);
+    std::span<const u64> sb = limb_of(b, i, n);
+    for (std::size_t j = 0; j < n; ++j) {
+      d[j] = q.add(d[j], q.mul(sa[j], sb[j]));
+    }
+    xf::op_counts().poly_mul += n;
+    xf::op_counts().poly_add += n;
+  });
+}
+
+void PolyBackend::negate(const poly::PolyContext& ctx, std::span<u64> dst,
+                         std::size_t limbs) {
+  const std::size_t n = ctx.n();
+  parallel_for(limbs, [&](std::size_t i, std::size_t) {
+    const rns::Modulus& q = ctx.modulus(i);
+    for (u64& v : limb_of(dst, i, n)) v = q.negate(v);
+    xf::op_counts().poly_add += n;
+  });
+}
+
+void PolyBackend::mul_scalar(const poly::PolyContext& ctx, std::span<u64> dst,
+                             std::size_t limbs, u64 scalar) {
+  const std::size_t n = ctx.n();
+  parallel_for(limbs, [&](std::size_t i, std::size_t) {
+    const rns::Modulus& q = ctx.modulus(i);
+    const u64 s = q.reduce(scalar);
+    for (u64& v : limb_of(dst, i, n)) v = q.mul(v, s);
+    xf::op_counts().poly_mul += n;
+  });
+}
+
+void PolyBackend::expand_signed(const poly::PolyContext& ctx,
+                                std::span<u64> dst, std::size_t limbs,
+                                std::span<const i64> coeffs) {
+  const std::size_t n = ctx.n();
+  ABC_CHECK_ARG(coeffs.size() == n, "coefficient count mismatch");
+  parallel_for(limbs, [&](std::size_t i, std::size_t) {
+    const rns::Modulus& q = ctx.modulus(i);
+    std::span<u64> d = limb_of(dst, i, n);
+    for (std::size_t j = 0; j < n; ++j) d[j] = q.from_signed(coeffs[j]);
+    xf::op_counts().other += n;  // RNS expansion work
+  });
+}
+
+void PolyBackend::expand_signed_i32(const poly::PolyContext& ctx,
+                                    std::span<u64> dst, std::size_t limbs,
+                                    std::span<const i32> coeffs) {
+  const std::size_t n = ctx.n();
+  ABC_CHECK_ARG(coeffs.size() == n, "coefficient count mismatch");
+  parallel_for(limbs, [&](std::size_t i, std::size_t) {
+    const rns::Modulus& q = ctx.modulus(i);
+    std::span<u64> d = limb_of(dst, i, n);
+    for (std::size_t j = 0; j < n; ++j) d[j] = q.from_signed(coeffs[j]);
+    xf::op_counts().other += n;
+  });
+}
+
+std::shared_ptr<PolyBackend> default_backend() {
+  static std::shared_ptr<PolyBackend> instance =
+      std::make_shared<ScalarBackend>();
+  return instance;
+}
+
+}  // namespace abc::backend

@@ -1,0 +1,23 @@
+#pragma once
+
+/// @file scalar_backend.hpp
+/// Single-threaded execution backend preserving the seed semantics: every
+/// kernel runs inline on the calling thread, one limb after another. This
+/// is the process-wide default and the reference the parallel backends are
+/// tested against (bit-identical outputs, identical op counts).
+
+#include "backend/poly_backend.hpp"
+
+namespace abc::backend {
+
+class ScalarBackend final : public PolyBackend {
+ public:
+  const char* name() const noexcept override { return "scalar"; }
+  std::size_t workers() const noexcept override { return 1; }
+
+  void parallel_for(std::size_t count, const Job& job) override {
+    for (std::size_t i = 0; i < count; ++i) job(i, 0);
+  }
+};
+
+}  // namespace abc::backend

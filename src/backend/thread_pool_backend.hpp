@@ -1,0 +1,70 @@
+#pragma once
+
+/// @file thread_pool_backend.hpp
+/// Execution backend with a persistent worker pool. parallel_for fans the
+/// index range out across the workers (atomic work-stealing counter, one
+/// index at a time — each index is a whole limb or batch item, so the claim
+/// cost is negligible); the calling thread blocks until the range is done
+/// and then absorbs the op counts the workers accumulated.
+///
+/// Nested parallel_for calls issued from inside a job (e.g. a batch item
+/// running per-limb NTTs through the same backend) execute inline on that
+/// worker — parallelism is applied at the outermost region only, which
+/// keeps results and scheduling deterministic.
+///
+/// A job that throws does not kill the process: the first exception is
+/// captured, the region runs to completion, and parallel_for rethrows it
+/// on the submitting thread — matching ScalarBackend's caller-visible
+/// behavior.
+
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "backend/poly_backend.hpp"
+#include "transform/op_counter.hpp"
+
+namespace abc::backend {
+
+class ThreadPoolBackend final : public PolyBackend {
+ public:
+  /// @p threads worker threads; 0 means std::thread::hardware_concurrency().
+  explicit ThreadPoolBackend(std::size_t threads = 0);
+  ~ThreadPoolBackend() override;
+
+  ThreadPoolBackend(const ThreadPoolBackend&) = delete;
+  ThreadPoolBackend& operator=(const ThreadPoolBackend&) = delete;
+
+  const char* name() const noexcept override { return "thread_pool"; }
+  std::size_t workers() const noexcept override { return threads_.size(); }
+
+  void parallel_for(std::size_t count, const Job& job) override;
+
+ private:
+  struct Task {
+    const Job* job = nullptr;
+    std::size_t count = 0;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::mutex ops_m;
+    xf::OpCounts ops;            // worker-side op counts, guarded by ops_m
+    std::exception_ptr error;    // first job exception, guarded by ops_m
+  };
+
+  void worker_loop(std::size_t worker_id);
+  void run_share(Task& task, std::size_t worker_id);
+
+  std::vector<std::thread> threads_;
+  std::mutex m_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::shared_ptr<Task> task_;  // current region, null when idle
+  u64 generation_ = 0;
+  bool stop_ = false;
+  std::mutex submit_m_;  // serializes top-level regions
+};
+
+}  // namespace abc::backend

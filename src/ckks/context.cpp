@@ -4,17 +4,19 @@
 
 namespace abc::ckks {
 
-CkksContext::CkksContext(const CkksParams& params)
+CkksContext::CkksContext(const CkksParams& params,
+                         std::shared_ptr<backend::PolyBackend> backend)
     : params_(params),
       primes_(rns::select_prime_chain(params.prime_bits, params.log_n,
                                       params.num_limbs)),
-      poly_ctx_(poly::PolyContext::create(params.log_n, primes_)),
+      poly_ctx_(poly::PolyContext::create(params.log_n, primes_,
+                                          std::move(backend))),
       dwt_(params.log_n) {}
 
 std::shared_ptr<const CkksContext> CkksContext::create(
-    const CkksParams& params) {
+    const CkksParams& params, std::shared_ptr<backend::PolyBackend> backend) {
   params.validate();
-  return std::make_shared<const CkksContext>(params);
+  return std::make_shared<const CkksContext>(params, std::move(backend));
 }
 
 }  // namespace abc::ckks

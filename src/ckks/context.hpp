@@ -17,12 +17,20 @@ namespace abc::ckks {
 class CkksContext {
  public:
   /// Validates parameters, selects the prime chain and builds all tables.
-  static std::shared_ptr<const CkksContext> create(const CkksParams& params);
+  /// Polynomial work executes through @p backend (the process-wide
+  /// ScalarBackend when null) — pass a ThreadPoolBackend to parallelize
+  /// every limb-wise operation under this context.
+  static std::shared_ptr<const CkksContext> create(
+      const CkksParams& params,
+      std::shared_ptr<backend::PolyBackend> backend = nullptr);
 
   const CkksParams& params() const noexcept { return params_; }
   const std::vector<u64>& primes() const noexcept { return primes_; }
   std::shared_ptr<const poly::PolyContext> poly_context() const noexcept {
     return poly_ctx_;
+  }
+  backend::PolyBackend& backend() const noexcept {
+    return poly_ctx_->backend();
   }
   const xf::CkksDwtPlan& dwt() const noexcept { return dwt_; }
 
@@ -35,7 +43,8 @@ class CkksContext {
     return poly::RnsPoly(poly_ctx_, limbs, domain);
   }
 
-  explicit CkksContext(const CkksParams& params);  // use create()
+  CkksContext(const CkksParams& params,
+              std::shared_ptr<backend::PolyBackend> backend);  // use create()
 
  private:
   CkksParams params_;

@@ -2,79 +2,109 @@
 
 namespace abc::ckks {
 
+namespace {
+
+const CkksContext& require_context(
+    const std::shared_ptr<const CkksContext>& ctx) {
+  ABC_CHECK_ARG(ctx != nullptr, "null context");
+  return *ctx;
+}
+
+}  // namespace
+
+EncryptScratch::EncryptScratch(const CkksContext& ctx)
+    : mask_(ctx.make_poly(1, poly::Domain::kCoeff)),
+      me_(ctx.make_poly(1, poly::Domain::kCoeff)),
+      err_(ctx.make_poly(1, poly::Domain::kCoeff)) {}
+
 Encryptor::Encryptor(std::shared_ptr<const CkksContext> ctx, PublicKey pk)
     : ctx_(std::move(ctx)),
       mode_(EncryptMode::kPublicKey),
-      pk_(std::make_unique<PublicKey>(std::move(pk))) {
-  ABC_CHECK_ARG(ctx_ != nullptr, "null context");
-}
+      pk_(std::make_unique<PublicKey>(std::move(pk))),
+      scratch_(require_context(ctx_)) {}
 
 Encryptor::Encryptor(std::shared_ptr<const CkksContext> ctx,
                      const SecretKey& sk)
     : ctx_(std::move(ctx)),
       mode_(EncryptMode::kSymmetricSeeded),
-      sk_eval_(std::make_unique<poly::RnsPoly>(sk.s)) {
-  ABC_CHECK_ARG(ctx_ != nullptr, "null context");
-}
+      sk_eval_(std::make_unique<poly::RnsPoly>(sk.s)),
+      scratch_(require_context(ctx_)) {}
 
 Ciphertext Encryptor::encrypt(const Plaintext& pt) {
-  ABC_CHECK_ARG(pt.poly.domain() == poly::Domain::kCoeff,
-                "plaintext must be in coefficient form");
-  return mode_ == EncryptMode::kPublicKey ? encrypt_public(pt)
-                                          : encrypt_symmetric(pt);
+  return encrypt_with(pt, counter_.fetch_add(1, std::memory_order_relaxed),
+                      scratch_);
 }
 
-Ciphertext Encryptor::encrypt_public(const Plaintext& pt) {
+Ciphertext Encryptor::encrypt_with(const Plaintext& pt, u64 stream_id,
+                                   EncryptScratch& scratch) const {
+  ABC_CHECK_ARG(pt.poly.domain() == poly::Domain::kCoeff,
+                "plaintext must be in coefficient form");
+  return mode_ == EncryptMode::kPublicKey
+             ? encrypt_public(pt, stream_id, scratch)
+             : encrypt_symmetric(pt, stream_id, scratch);
+}
+
+Ciphertext Encryptor::encrypt_public(const Plaintext& pt, u64 id,
+                                     EncryptScratch& s) const {
   const std::size_t limbs = pt.limbs();
-  const u64 id = counter_++;
 
   // Ternary mask u, transformed (NTT pass 1 of 3).
-  poly::RnsPoly u = ctx_->make_poly(limbs, poly::Domain::kCoeff);
-  fill_ternary_coeff(*ctx_, u, PrngDomain::kEncryptMask, id);
+  poly::RnsPoly& u = s.mask_;
+  u.reset(limbs, poly::Domain::kCoeff);
+  fill_ternary_coeff(*ctx_, u, PrngDomain::kEncryptMask, id, &s.samplers_);
   u.to_eval();
 
   // m + e0 folded before the transform (NTT pass 2).
-  poly::RnsPoly me0 = pt.poly;
-  poly::RnsPoly e0 = ctx_->make_poly(limbs, poly::Domain::kCoeff);
-  fill_gaussian_coeff(*ctx_, e0, PrngDomain::kEncryptError, 2 * id);
-  me0.add_inplace(e0);
+  poly::RnsPoly& me0 = s.me_;
+  me0.assign_prefix(pt.poly, limbs);
+  poly::RnsPoly& e = s.err_;
+  e.reset(limbs, poly::Domain::kCoeff);
+  fill_gaussian_coeff(*ctx_, e, PrngDomain::kEncryptError, 2 * id,
+                      &s.samplers_);
+  me0.add_inplace(e);
   me0.to_eval();
 
-  // e1 (NTT pass 3).
-  poly::RnsPoly e1 = ctx_->make_poly(limbs, poly::Domain::kCoeff);
-  fill_gaussian_coeff(*ctx_, e1, PrngDomain::kEncryptError, 2 * id + 1);
-  e1.to_eval();
-
-  // c0 = b*u + (m + e0); c1 = a*u + e1, on the first `limbs` limbs of pk.
+  // c0 = b*u + (m + e0), on the first `limbs` limbs of pk.
   poly::RnsPoly c0 = pk_->b.prefix_copy(limbs);
   c0.mul_inplace(u);
   c0.add_inplace(me0);
+
+  // e1 (NTT pass 3); c1 = a*u + e1.
+  e.reset(limbs, poly::Domain::kCoeff);
+  fill_gaussian_coeff(*ctx_, e, PrngDomain::kEncryptError, 2 * id + 1,
+                      &s.samplers_);
+  e.to_eval();
   poly::RnsPoly c1 = pk_->a.prefix_copy(limbs);
   c1.mul_inplace(u);
-  c1.add_inplace(e1);
+  c1.add_inplace(e);
 
   Ciphertext ct{{std::move(c0), std::move(c1)}, pt.scale, std::nullopt};
   return ct;
 }
 
-Ciphertext Encryptor::encrypt_symmetric(const Plaintext& pt) {
+Ciphertext Encryptor::encrypt_symmetric(const Plaintext& pt, u64 id,
+                                        EncryptScratch& s) const {
   const std::size_t limbs = pt.limbs();
-  const u64 id = counter_++;
 
   // Uniform a regenerable from (seed, stream id): never shipped.
   poly::RnsPoly a = ctx_->make_poly(limbs, poly::Domain::kEval);
   fill_uniform_eval(*ctx_, a, PrngDomain::kSymmetricA, id);
 
   // m + e folded before the single NTT pass per limb.
-  poly::RnsPoly me = pt.poly;
-  poly::RnsPoly e = ctx_->make_poly(limbs, poly::Domain::kCoeff);
-  fill_gaussian_coeff(*ctx_, e, PrngDomain::kEncryptError, (u64{1} << 40) + id);
+  poly::RnsPoly& me = s.me_;
+  me.assign_prefix(pt.poly, limbs);
+  poly::RnsPoly& e = s.err_;
+  e.reset(limbs, poly::Domain::kCoeff);
+  fill_gaussian_coeff(*ctx_, e, PrngDomain::kSymmetricError, id,
+                      &s.samplers_);
   me.add_inplace(e);
   me.to_eval();
 
   // c0 = -(a*s) + (m + e).
+  poly::RnsPoly& sk = s.mask_;
+  sk.assign_prefix(*sk_eval_, limbs);
   poly::RnsPoly c0 = a;
-  c0.mul_inplace(sk_eval_->prefix_copy(limbs));
+  c0.mul_inplace(sk);
   c0.negate_inplace();
   c0.add_inplace(me);
 

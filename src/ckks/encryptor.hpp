@@ -12,7 +12,16 @@
 ///
 /// The per-limb NTT-pass count is exported so the accelerator scheduler
 /// (src/core) accounts the same work the software executes.
+///
+/// Concurrency model: the stream-id counter is atomic, each encryption's
+/// randomness is fully determined by its stream id, and the two modes draw
+/// errors from disjoint PRNG domains — so any number of threads encrypting
+/// through encrypt_with() produce independent, reproducible ciphertexts.
+/// encrypt() itself reuses an internal scratch buffer and is therefore not
+/// reentrant; parallel callers use one EncryptScratch per worker (see
+/// engine/batch_encryptor.hpp).
 
+#include <atomic>
 #include <memory>
 
 #include "ckks/ciphertext.hpp"
@@ -31,6 +40,23 @@ constexpr int ntt_passes_per_limb(EncryptMode mode) noexcept {
   return mode == EncryptMode::kPublicKey ? 3 : 1;
 }
 
+/// Reusable per-worker buffers for the encryption hot path: the mask (or
+/// secret-key prefix), the message+error accumulator, the error being
+/// sampled, and the sampler staging vectors. After the first encryption at
+/// a given level the hot path performs no heap allocation beyond the
+/// ciphertext components it returns.
+class EncryptScratch {
+ public:
+  explicit EncryptScratch(const CkksContext& ctx);
+
+ private:
+  friend class Encryptor;
+  poly::RnsPoly mask_;  // ternary u / secret-key prefix
+  poly::RnsPoly me_;    // m + e accumulator
+  poly::RnsPoly err_;   // freshly sampled error
+  SamplerScratch samplers_;
+};
+
 class Encryptor {
  public:
   /// Public-key mode.
@@ -41,18 +67,33 @@ class Encryptor {
   EncryptMode mode() const noexcept { return mode_; }
 
   /// Encrypts a plaintext; the ciphertext carries pt's limb count and is in
-  /// evaluation form.
+  /// evaluation form. Not reentrant (uses the internal scratch).
   Ciphertext encrypt(const Plaintext& pt);
 
+  /// Reserves @p count consecutive stream ids for a batch; each id passed
+  /// to encrypt_with() yields an independent, reproducible ciphertext.
+  u64 reserve_stream_ids(u64 count) {
+    return counter_.fetch_add(count, std::memory_order_relaxed);
+  }
+
+  /// Deterministic encryption under an explicit stream id with external
+  /// scratch. Thread-safe: may run concurrently with any other
+  /// encrypt_with() call as long as each thread owns its scratch.
+  Ciphertext encrypt_with(const Plaintext& pt, u64 stream_id,
+                          EncryptScratch& scratch) const;
+
  private:
-  Ciphertext encrypt_public(const Plaintext& pt);
-  Ciphertext encrypt_symmetric(const Plaintext& pt);
+  Ciphertext encrypt_public(const Plaintext& pt, u64 id,
+                            EncryptScratch& scratch) const;
+  Ciphertext encrypt_symmetric(const Plaintext& pt, u64 id,
+                               EncryptScratch& scratch) const;
 
   std::shared_ptr<const CkksContext> ctx_;
   EncryptMode mode_;
   std::unique_ptr<PublicKey> pk_;
   std::unique_ptr<poly::RnsPoly> sk_eval_;
-  u64 counter_ = 0;
+  EncryptScratch scratch_;
+  std::atomic<u64> counter_{0};
 };
 
 }  // namespace abc::ckks

@@ -21,24 +21,30 @@ void fill_uniform_eval(const CkksContext& ctx, poly::RnsPoly& dst,
 }
 
 void fill_ternary_coeff(const CkksContext& ctx, poly::RnsPoly& dst,
-                        PrngDomain domain, u64 stream_id) {
+                        PrngDomain domain, u64 stream_id,
+                        SamplerScratch* scratch) {
   prng::ChaCha20 rng(ctx.params().seed, stream_id,
                      static_cast<u32>(domain));
   prng::TernarySampler sampler;
-  std::vector<i8> values(ctx.n());
-  sampler.sample_many(rng, values);
-  std::vector<i32> wide(values.begin(), values.end());
-  dst.set_from_signed_i32(wide);
+  SamplerScratch local;
+  SamplerScratch& s = scratch ? *scratch : local;
+  s.ternary.resize(ctx.n());
+  sampler.sample_many(rng, s.ternary);
+  s.wide.assign(s.ternary.begin(), s.ternary.end());
+  dst.set_from_signed_i32(s.wide);
 }
 
 void fill_gaussian_coeff(const CkksContext& ctx, poly::RnsPoly& dst,
-                         PrngDomain domain, u64 stream_id) {
+                         PrngDomain domain, u64 stream_id,
+                         SamplerScratch* scratch) {
   prng::ChaCha20 rng(ctx.params().seed, stream_id,
                      static_cast<u32>(domain));
   prng::DiscreteGaussianSampler sampler(ctx.params().error_sigma);
-  std::vector<i32> values(ctx.n());
-  sampler.sample_many(rng, values);
-  dst.set_from_signed_i32(values);
+  SamplerScratch local;
+  SamplerScratch& s = scratch ? *scratch : local;
+  s.wide.resize(ctx.n());
+  sampler.sample_many(rng, s.wide);
+  dst.set_from_signed_i32(s.wide);
 }
 
 KeyGenerator::KeyGenerator(std::shared_ptr<const CkksContext> ctx)

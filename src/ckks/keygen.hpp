@@ -25,14 +25,19 @@ struct PublicKey {
   poly::RnsPoly a;
 };
 
-/// PRNG domain tags, keeping every consumer on a disjoint stream.
+/// PRNG domain tags, keeping every consumer on a disjoint stream. Each
+/// encryption mode owns its error domain outright (public-key errors live
+/// in kEncryptError at stream ids 2*id and 2*id+1, symmetric errors in
+/// kSymmetricError at stream id), so concurrent batched encrypts can never
+/// reuse a stream across modes no matter how the counter advances.
 enum class PrngDomain : u32 {
   kSecretKey = 1,
   kPublicA = 2,
   kKeygenError = 3,
   kEncryptMask = 4,
-  kEncryptError = 5,
+  kEncryptError = 5,   // public-key encryption errors (e0, e1)
   kSymmetricA = 6,
+  kSymmetricError = 7, // symmetric seeded encryption errors
 };
 
 class KeyGenerator {
@@ -53,6 +58,13 @@ class KeyGenerator {
   u64 pk_counter_ = 0;
 };
 
+/// Reusable sampler staging buffers for allocation-free hot paths; one per
+/// worker when sampling runs under a parallel engine.
+struct SamplerScratch {
+  std::vector<i8> ternary;
+  std::vector<i32> wide;
+};
+
 /// Fills @p dst (evaluation domain) with per-limb uniform values drawn from
 /// the seed/stream — shared by key generation and symmetric encryption.
 void fill_uniform_eval(const CkksContext& ctx, poly::RnsPoly& dst,
@@ -60,10 +72,12 @@ void fill_uniform_eval(const CkksContext& ctx, poly::RnsPoly& dst,
 
 /// Samples a ternary polynomial into coefficient form.
 void fill_ternary_coeff(const CkksContext& ctx, poly::RnsPoly& dst,
-                        PrngDomain domain, u64 stream_id);
+                        PrngDomain domain, u64 stream_id,
+                        SamplerScratch* scratch = nullptr);
 
 /// Samples a discrete-Gaussian error polynomial into coefficient form.
 void fill_gaussian_coeff(const CkksContext& ctx, poly::RnsPoly& dst,
-                         PrngDomain domain, u64 stream_id);
+                         PrngDomain domain, u64 stream_id,
+                         SamplerScratch* scratch = nullptr);
 
 }  // namespace abc::ckks

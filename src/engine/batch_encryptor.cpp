@@ -1,0 +1,74 @@
+#include "engine/batch_encryptor.hpp"
+
+#include "common/check.hpp"
+
+namespace abc::engine {
+
+namespace {
+
+std::vector<ckks::EncryptScratch> make_scratch(const ckks::CkksContext& ctx) {
+  std::vector<ckks::EncryptScratch> scratch;
+  const std::size_t lanes = ctx.backend().workers();
+  scratch.reserve(lanes);
+  for (std::size_t i = 0; i < lanes; ++i) scratch.emplace_back(ctx);
+  return scratch;
+}
+
+}  // namespace
+
+BatchEncryptor::BatchEncryptor(std::shared_ptr<const ckks::CkksContext> ctx,
+                               ckks::PublicKey pk)
+    : ctx_(ctx),
+      encoder_(ctx),
+      encryptor_(ctx, std::move(pk)),
+      scratch_(make_scratch(*ctx_)) {}
+
+BatchEncryptor::BatchEncryptor(std::shared_ptr<const ckks::CkksContext> ctx,
+                               const ckks::SecretKey& sk)
+    : ctx_(ctx),
+      encoder_(ctx),
+      encryptor_(ctx, sk),
+      scratch_(make_scratch(*ctx_)) {}
+
+std::vector<ckks::Ciphertext> BatchEncryptor::run(
+    std::size_t count,
+    const std::function<ckks::Ciphertext(std::size_t, ckks::EncryptScratch&,
+                                         u64)>& item) {
+  std::vector<ckks::Ciphertext> out(count);
+  if (count == 0) return out;
+  const u64 base = encryptor_.reserve_stream_ids(count);
+  ctx_->backend().parallel_for(
+      count, [&](std::size_t i, std::size_t worker) {
+        out[i] = item(i, scratch_.at(worker), base + i);
+      });
+  return out;
+}
+
+std::vector<ckks::Ciphertext> BatchEncryptor::encrypt_batch(
+    std::span<const std::vector<std::complex<double>>> messages,
+    std::size_t limbs) {
+  return run(messages.size(), [&](std::size_t i,
+                                  ckks::EncryptScratch& scratch, u64 id) {
+    const ckks::Plaintext pt = encoder_.encode(messages[i], limbs);
+    return encryptor_.encrypt_with(pt, id, scratch);
+  });
+}
+
+std::vector<ckks::Ciphertext> BatchEncryptor::encrypt_real_batch(
+    std::span<const std::vector<double>> messages, std::size_t limbs) {
+  return run(messages.size(), [&](std::size_t i,
+                                  ckks::EncryptScratch& scratch, u64 id) {
+    const ckks::Plaintext pt = encoder_.encode_real(messages[i], limbs);
+    return encryptor_.encrypt_with(pt, id, scratch);
+  });
+}
+
+std::vector<ckks::Ciphertext> BatchEncryptor::encrypt_plaintexts(
+    std::span<const ckks::Plaintext> plaintexts) {
+  return run(plaintexts.size(), [&](std::size_t i,
+                                    ckks::EncryptScratch& scratch, u64 id) {
+    return encryptor_.encrypt_with(plaintexts[i], id, scratch);
+  });
+}
+
+}  // namespace abc::engine

@@ -1,13 +1,15 @@
 #pragma once
 
 /// @file poly_context.hpp
-/// Shared immutable context for RNS polynomials: the prime basis plus one
-/// NTT table per prime. Built once per parameter set and shared by all
+/// Shared immutable context for RNS polynomials: the prime basis, one NTT
+/// table per prime, and the execution backend every polynomial operation
+/// dispatches through. Built once per parameter set and shared by all
 /// polynomials through a shared_ptr.
 
 #include <memory>
 #include <vector>
 
+#include "backend/poly_backend.hpp"
 #include "rns/rns_basis.hpp"
 #include "transform/ntt.hpp"
 
@@ -16,11 +18,16 @@ namespace abc::poly {
 class PolyContext {
  public:
   /// Builds NTT tables for degree 2^log_n over every prime in @p primes.
-  PolyContext(int log_n, const std::vector<u64>& primes);
+  /// Operations execute through @p backend (the process-wide ScalarBackend
+  /// when null).
+  PolyContext(int log_n, const std::vector<u64>& primes,
+              std::shared_ptr<backend::PolyBackend> backend = nullptr);
 
   static std::shared_ptr<const PolyContext> create(
-      int log_n, const std::vector<u64>& primes) {
-    return std::make_shared<const PolyContext>(log_n, primes);
+      int log_n, const std::vector<u64>& primes,
+      std::shared_ptr<backend::PolyBackend> backend = nullptr) {
+    return std::make_shared<const PolyContext>(log_n, primes,
+                                               std::move(backend));
   }
 
   int log_n() const noexcept { return log_n_; }
@@ -33,11 +40,17 @@ class PolyContext {
   }
   const xf::NttTables& ntt(std::size_t limb) const { return ntt_.at(limb); }
 
+  backend::PolyBackend& backend() const noexcept { return *backend_; }
+  const std::shared_ptr<backend::PolyBackend>& backend_ptr() const noexcept {
+    return backend_;
+  }
+
  private:
   int log_n_;
   std::size_t n_;
   rns::RnsBasis basis_;
   std::vector<xf::NttTables> ntt_;
+  std::shared_ptr<backend::PolyBackend> backend_;
 };
 
 }  // namespace abc::poly

@@ -1,7 +1,6 @@
 #include "poly/rns_poly.hpp"
 
 #include "common/check.hpp"
-#include "transform/op_counter.hpp"
 
 namespace abc::poly {
 
@@ -26,40 +25,32 @@ std::span<const u64> RnsPoly::limb(std::size_t i) const {
 
 void RnsPoly::to_eval() {
   ABC_CHECK_STATE(domain_ == Domain::kCoeff, "already in evaluation domain");
-  for (std::size_t i = 0; i < limbs_; ++i) ctx_->ntt(i).forward(limb(i));
+  ctx_->backend().ntt_forward(*ctx_, data_, limbs_);
   domain_ = Domain::kEval;
 }
 
 void RnsPoly::to_coeff() {
   ABC_CHECK_STATE(domain_ == Domain::kEval, "already in coefficient domain");
-  for (std::size_t i = 0; i < limbs_; ++i) ctx_->ntt(i).inverse(limb(i));
+  ctx_->backend().ntt_inverse(*ctx_, data_, limbs_);
   domain_ = Domain::kCoeff;
 }
 
 void RnsPoly::set_zero() { std::fill(data_.begin(), data_.end(), 0); }
 
+void RnsPoly::reset(std::size_t limbs, Domain domain) {
+  ABC_CHECK_ARG(limbs >= 1 && limbs <= ctx_->max_limbs(),
+                "limb count out of range");
+  limbs_ = limbs;
+  domain_ = domain;
+  data_.resize(limbs_ * n());  // grows zeroed; reused words left as-is
+}
+
 void RnsPoly::set_from_signed(std::span<const i64> coeffs) {
-  ABC_CHECK_ARG(coeffs.size() == n(), "coefficient count mismatch");
-  for (std::size_t i = 0; i < limbs_; ++i) {
-    const rns::Modulus& q = ctx_->modulus(i);
-    std::span<u64> dst = limb(i);
-    for (std::size_t j = 0; j < coeffs.size(); ++j) {
-      dst[j] = q.from_signed(coeffs[j]);
-    }
-  }
-  xf::op_counts().other += limbs_ * n();  // RNS expansion work
+  ctx_->backend().expand_signed(*ctx_, data_, limbs_, coeffs);
 }
 
 void RnsPoly::set_from_signed_i32(std::span<const i32> coeffs) {
-  ABC_CHECK_ARG(coeffs.size() == n(), "coefficient count mismatch");
-  for (std::size_t i = 0; i < limbs_; ++i) {
-    const rns::Modulus& q = ctx_->modulus(i);
-    std::span<u64> dst = limb(i);
-    for (std::size_t j = 0; j < coeffs.size(); ++j) {
-      dst[j] = q.from_signed(coeffs[j]);
-    }
-  }
-  xf::op_counts().other += limbs_ * n();
+  ctx_->backend().expand_signed_i32(*ctx_, data_, limbs_, coeffs);
 }
 
 void RnsPoly::check_compatible(const RnsPoly& other) const {
@@ -70,45 +61,23 @@ void RnsPoly::check_compatible(const RnsPoly& other) const {
 
 void RnsPoly::add_inplace(const RnsPoly& other) {
   check_compatible(other);
-  for (std::size_t i = 0; i < limbs_; ++i) {
-    const rns::Modulus& q = ctx_->modulus(i);
-    std::span<u64> dst = limb(i);
-    std::span<const u64> src = other.limb(i);
-    for (std::size_t j = 0; j < dst.size(); ++j) dst[j] = q.add(dst[j], src[j]);
-  }
-  xf::op_counts().poly_add += limbs_ * n();
+  ctx_->backend().add(*ctx_, data_, other.data_, limbs_);
 }
 
 void RnsPoly::sub_inplace(const RnsPoly& other) {
   check_compatible(other);
-  for (std::size_t i = 0; i < limbs_; ++i) {
-    const rns::Modulus& q = ctx_->modulus(i);
-    std::span<u64> dst = limb(i);
-    std::span<const u64> src = other.limb(i);
-    for (std::size_t j = 0; j < dst.size(); ++j) dst[j] = q.sub(dst[j], src[j]);
-  }
-  xf::op_counts().poly_add += limbs_ * n();
+  ctx_->backend().sub(*ctx_, data_, other.data_, limbs_);
 }
 
 void RnsPoly::negate_inplace() {
-  for (std::size_t i = 0; i < limbs_; ++i) {
-    const rns::Modulus& q = ctx_->modulus(i);
-    for (u64& v : limb(i)) v = q.negate(v);
-  }
-  xf::op_counts().poly_add += limbs_ * n();
+  ctx_->backend().negate(*ctx_, data_, limbs_);
 }
 
 void RnsPoly::mul_inplace(const RnsPoly& other) {
   check_compatible(other);
   ABC_CHECK_ARG(domain_ == Domain::kEval,
                 "dyadic product requires evaluation domain");
-  for (std::size_t i = 0; i < limbs_; ++i) {
-    const rns::Modulus& q = ctx_->modulus(i);
-    std::span<u64> dst = limb(i);
-    std::span<const u64> src = other.limb(i);
-    for (std::size_t j = 0; j < dst.size(); ++j) dst[j] = q.mul(dst[j], src[j]);
-  }
-  xf::op_counts().poly_mul += limbs_ * n();
+  ctx_->backend().mul(*ctx_, data_, other.data_, limbs_);
 }
 
 void RnsPoly::fma_inplace(const RnsPoly& a, const RnsPoly& b) {
@@ -116,26 +85,11 @@ void RnsPoly::fma_inplace(const RnsPoly& a, const RnsPoly& b) {
   check_compatible(b);
   ABC_CHECK_ARG(domain_ == Domain::kEval,
                 "fused multiply-add requires evaluation domain");
-  for (std::size_t i = 0; i < limbs_; ++i) {
-    const rns::Modulus& q = ctx_->modulus(i);
-    std::span<u64> dst = limb(i);
-    std::span<const u64> sa = a.limb(i);
-    std::span<const u64> sb = b.limb(i);
-    for (std::size_t j = 0; j < dst.size(); ++j) {
-      dst[j] = q.add(dst[j], q.mul(sa[j], sb[j]));
-    }
-  }
-  xf::op_counts().poly_mul += limbs_ * n();
-  xf::op_counts().poly_add += limbs_ * n();
+  ctx_->backend().fma(*ctx_, data_, a.data_, b.data_, limbs_);
 }
 
 void RnsPoly::mul_scalar_inplace(u64 scalar) {
-  for (std::size_t i = 0; i < limbs_; ++i) {
-    const rns::Modulus& q = ctx_->modulus(i);
-    const u64 s = q.reduce(scalar);
-    for (u64& v : limb(i)) v = q.mul(v, s);
-  }
-  xf::op_counts().poly_mul += limbs_ * n();
+  ctx_->backend().mul_scalar(*ctx_, data_, limbs_, scalar);
 }
 
 void RnsPoly::drop_last_limb() {
@@ -151,6 +105,16 @@ RnsPoly RnsPoly::prefix_copy(std::size_t limbs) const {
             data_.begin() + static_cast<std::ptrdiff_t>(limbs * n()),
             out.data_.begin());
   return out;
+}
+
+void RnsPoly::assign_prefix(const RnsPoly& src, std::size_t limbs) {
+  ABC_CHECK_ARG(ctx_.get() == src.ctx_.get(), "context mismatch");
+  ABC_CHECK_ARG(limbs >= 1 && limbs <= src.limbs_,
+                "prefix limb count invalid");
+  limbs_ = limbs;
+  domain_ = src.domain_;
+  data_.assign(src.data_.begin(),
+               src.data_.begin() + static_cast<std::ptrdiff_t>(limbs * n()));
 }
 
 }  // namespace abc::poly

@@ -5,6 +5,11 @@
 /// domain tag distinguishing coefficient form from NTT (evaluation) form.
 /// Element-wise operations are only legal between polynomials in the same
 /// domain at the same level; the class enforces that at runtime.
+///
+/// All element-wise arithmetic and domain conversions execute through the
+/// PolyBackend owned by the PolyContext (see backend/poly_backend.hpp), so
+/// the same code runs serially or across a worker pool depending on how
+/// the context was built.
 
 #include <memory>
 #include <span>
@@ -46,6 +51,11 @@ class RnsPoly {
 
   // -- initialization ------------------------------------------------------
   void set_zero();
+  /// Re-initializes to @p limbs limbs in @p domain, reusing the existing
+  /// allocation when its capacity suffices (hot-path scratch). Coefficient
+  /// contents are unspecified afterwards: callers must overwrite every
+  /// coefficient (via set_from_signed* or a sampler fill) before use.
+  void reset(std::size_t limbs, Domain domain);
   /// RNS-expand centered signed coefficients into every limb ("Expand RNS").
   void set_from_signed(std::span<const i64> coeffs);
   void set_from_signed_i32(std::span<const i32> coeffs);
@@ -66,6 +76,10 @@ class RnsPoly {
 
   /// Deep copy with fewer limbs (prefix).
   RnsPoly prefix_copy(std::size_t limbs) const;
+
+  /// Copies the first @p limbs limbs of @p src into this polynomial,
+  /// adopting src's domain and reusing this allocation when possible.
+  void assign_prefix(const RnsPoly& src, std::size_t limbs);
 
  private:
   void check_compatible(const RnsPoly& other) const;

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <random>
+#include <vector>
+
+#include "backend/scalar_backend.hpp"
+#include "backend/thread_pool_backend.hpp"
+#include "poly/rns_poly.hpp"
+#include "rns/ntt_prime.hpp"
+#include "transform/op_counter.hpp"
+
+namespace abc {
+namespace {
+
+std::vector<u64> test_primes(std::size_t count) {
+  return rns::select_prime_chain(36, 10, count);
+}
+
+std::vector<i64> random_signed(std::size_t n, u64 seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<i64> dist(-(i64{1} << 30), i64{1} << 30);
+  std::vector<i64> v(n);
+  for (i64& x : v) x = dist(rng);
+  return v;
+}
+
+void expect_equal_polys(const poly::RnsPoly& a, const poly::RnsPoly& b) {
+  ASSERT_EQ(a.limbs(), b.limbs());
+  ASSERT_EQ(a.domain(), b.domain());
+  for (std::size_t i = 0; i < a.limbs(); ++i) {
+    std::span<const u64> la = a.limb(i);
+    std::span<const u64> lb = b.limb(i);
+    for (std::size_t j = 0; j < la.size(); ++j) {
+      ASSERT_EQ(la[j], lb[j]) << "limb " << i << " coeff " << j;
+    }
+  }
+}
+
+/// Runs the same op sequence on a context built over @p backend and returns
+/// the resulting polynomial (exercises NTT fwd/inv, add/sub/mul/fma,
+/// scalar mul and RNS expansion through the backend).
+poly::RnsPoly run_op_sequence(std::shared_ptr<backend::PolyBackend> be) {
+  auto ctx = poly::PolyContext::create(10, test_primes(4), std::move(be));
+  const std::size_t n = ctx->n();
+
+  poly::RnsPoly a(ctx, 4, poly::Domain::kCoeff);
+  poly::RnsPoly b(ctx, 4, poly::Domain::kCoeff);
+  a.set_from_signed(random_signed(n, 1));
+  b.set_from_signed(random_signed(n, 2));
+  a.to_eval();
+  b.to_eval();
+
+  poly::RnsPoly acc = a;
+  acc.mul_inplace(b);      // a*b
+  acc.add_inplace(a);      // + a
+  acc.fma_inplace(a, b);   // + a*b
+  acc.sub_inplace(b);      // - b
+  acc.mul_scalar_inplace(12345);
+  acc.negate_inplace();
+  acc.to_coeff();
+  return acc;
+}
+
+TEST(Backend, ThreadPoolMatchesScalarBitExactly) {
+  const poly::RnsPoly ref =
+      run_op_sequence(std::make_shared<backend::ScalarBackend>());
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    const poly::RnsPoly got = run_op_sequence(
+        std::make_shared<backend::ThreadPoolBackend>(threads));
+    expect_equal_polys(ref, got);
+  }
+}
+
+TEST(Backend, ParallelForCoversEveryIndexOnce) {
+  backend::ThreadPoolBackend pool(4);
+  constexpr std::size_t kCount = 1000;
+  std::vector<std::atomic<int>> hits(kCount);
+  std::atomic<bool> bad_worker{false};
+  pool.parallel_for(kCount, [&](std::size_t i, std::size_t worker) {
+    if (worker >= pool.workers()) bad_worker = true;
+    hits[i].fetch_add(1);
+  });
+  EXPECT_FALSE(bad_worker);
+  for (std::size_t i = 0; i < kCount; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(Backend, NestedParallelForRunsInlineOnWorker) {
+  backend::ThreadPoolBackend pool(2);
+  std::atomic<int> total{0};
+  pool.parallel_for(8, [&](std::size_t, std::size_t outer_worker) {
+    pool.parallel_for(5, [&](std::size_t, std::size_t inner_worker) {
+      EXPECT_EQ(inner_worker, outer_worker);
+      total.fetch_add(1);
+    });
+  });
+  EXPECT_EQ(total.load(), 40);
+}
+
+TEST(Backend, OpCountsAggregateToCaller) {
+  // The analytic Fig. 2b accounting must be backend-invariant: the caller
+  // sees the same op totals whether the limbs ran serially or on a pool.
+  auto count_ops = [](std::shared_ptr<backend::PolyBackend> be) {
+    auto ctx = poly::PolyContext::create(10, test_primes(4), std::move(be));
+    poly::RnsPoly p(ctx, 4, poly::Domain::kCoeff);
+    p.set_from_signed(random_signed(ctx->n(), 3));
+    xf::OpCounterScope scope;
+    p.to_eval();
+    poly::RnsPoly q = p;
+    q.mul_inplace(p);
+    q.to_coeff();
+    return scope.delta();
+  };
+  const xf::OpCounts scalar =
+      count_ops(std::make_shared<backend::ScalarBackend>());
+  const xf::OpCounts pooled =
+      count_ops(std::make_shared<backend::ThreadPoolBackend>(4));
+  EXPECT_EQ(scalar.ntt_mul, pooled.ntt_mul);
+  EXPECT_EQ(scalar.ntt_add, pooled.ntt_add);
+  EXPECT_EQ(scalar.poly_mul, pooled.poly_mul);
+  EXPECT_EQ(scalar.poly_add, pooled.poly_add);
+  EXPECT_EQ(scalar.total(), pooled.total());
+  EXPECT_GT(pooled.ntt_mul, 0u);
+}
+
+TEST(Backend, JobExceptionRethrownOnCaller) {
+  // A throwing job must surface as a normal exception on the submitting
+  // thread (same caller-visible behavior as ScalarBackend), not terminate
+  // the process, and the pool must stay usable afterwards.
+  backend::ThreadPoolBackend pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(8,
+                        [](std::size_t i, std::size_t) {
+                          if (i == 3) throw InvalidArgument("boom");
+                        }),
+      InvalidArgument);
+  std::atomic<int> ran{0};
+  pool.parallel_for(4, [&](std::size_t, std::size_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 4);
+}
+
+TEST(Backend, DefaultBackendIsScalar) {
+  auto ctx = poly::PolyContext::create(10, test_primes(2));
+  EXPECT_STREQ(ctx->backend().name(), "scalar");
+  EXPECT_EQ(ctx->backend().workers(), 1u);
+}
+
+TEST(Backend, WorkerCountDefaultsToHardwareConcurrency) {
+  backend::ThreadPoolBackend pool;
+  EXPECT_GE(pool.workers(), 1u);
+  backend::ThreadPoolBackend fixed(3);
+  EXPECT_EQ(fixed.workers(), 3u);
+  EXPECT_STREQ(fixed.name(), "thread_pool");
+}
+
+}  // namespace
+}  // namespace abc
