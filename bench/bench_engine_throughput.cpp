@@ -7,9 +7,10 @@
 // and limb-level parallelism carry a general-purpose CPU before the
 // accelerator's architectural advantage takes over.
 //
-// Usage: bench_engine_throughput [log_n] [limbs] [batch]
+// Usage: bench_engine_throughput [log_n] [limbs] [batch] [--json out.json]
 //   defaults: log_n=13, limbs=8, batch=32 (keeps the run in seconds;
-//   pass 16 24 for the paper's bootstrappable point).
+//   pass 16 24 for the paper's bootstrappable point). --json emits the
+//   machine-readable rates (bench_util.hpp schema) for perf tracking.
 
 #include <chrono>
 #include <cstdio>
@@ -20,6 +21,7 @@
 
 #include "backend/scalar_backend.hpp"
 #include "backend/thread_pool_backend.hpp"
+#include "bench_util.hpp"
 #include "common/table.hpp"
 #include "core/simulator.hpp"
 #include "engine/batch_encryptor.hpp"
@@ -65,11 +67,14 @@ double measure_throughput(const ckks::CkksParams& params,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int log_n = argc > 1 ? std::atoi(argv[1]) : 13;
-  const std::size_t limbs =
-      argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 8;
-  const std::size_t batch =
-      argc > 3 ? static_cast<std::size_t>(std::atoi(argv[3])) : 32;
+  const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
+  auto positional = [&](std::size_t i, int def) {
+    return i < args.positional.size() ? std::atoi(args.positional[i].c_str())
+                                      : def;
+  };
+  const int log_n = positional(0, 13);
+  const std::size_t limbs = static_cast<std::size_t>(positional(1, 8));
+  const std::size_t batch = static_cast<std::size_t>(positional(2, 32));
 
   std::puts("ABC-FHE reproduction :: batch encryption engine throughput\n");
   std::printf("Workload: N = 2^%d, %zu limbs, batch of %zu messages, "
@@ -79,10 +84,16 @@ int main(int argc, char** argv) {
   ckks::CkksParams params = ckks::CkksParams::sweep_point(log_n, limbs);
   params.validate();
   const auto msgs = random_messages(batch, params.slots());
-  const int reps = 3;
+  const int reps = args.reps > 0 ? args.reps : 3;
+
+  bench::JsonReporter rep("bench_engine_throughput");
+  rep.add_metric("meta/log_n", "value", log_n);
+  rep.add_metric("meta/limbs", "value", static_cast<double>(limbs));
+  rep.add_metric("meta/batch", "value", static_cast<double>(batch));
 
   const double scalar_rate = measure_throughput(
       params, std::make_shared<backend::ScalarBackend>(), msgs, reps);
+  rep.add_metric("engine/scalar", "msgs_per_s", scalar_rate);
 
   TextTable table("Encode + encrypt throughput (messages/second)");
   table.set_header({"Backend", "Workers", "msgs/s", "Speed-up vs scalar"});
@@ -94,10 +105,14 @@ int main(int argc, char** argv) {
         params, std::make_shared<backend::ThreadPoolBackend>(threads), msgs,
         reps);
     if (threads == 4) rate_at_4 = rate;
+    rep.add_metric("engine/thread_pool/" + std::to_string(threads),
+                   "msgs_per_s", rate);
     table.add_row({"thread_pool", std::to_string(threads),
                    TextTable::fmt(rate, 2),
                    TextTable::fmt(rate / scalar_rate, 2) + "x"});
   }
+  rep.add_metric("engine/thread_pool_4_speedup", "speedup",
+                 rate_at_4 / scalar_rate);
 
   // Modeled accelerator at the same degree/limb configuration.
   core::ArchConfig cfg = core::ArchConfig::paper_default();
@@ -106,9 +121,15 @@ int main(int argc, char** argv) {
   cfg.enc_profile = core::EncryptProfile::public_key();
   const double abc_rate =
       core::AbcFheSimulator(cfg).encode_encrypt_throughput();
+  rep.add_metric("engine/abc_fhe_modeled", "msgs_per_s", abc_rate);
   table.add_row({"ABC-FHE (modeled)", "-", TextTable::fmt(abc_rate, 2),
                  TextTable::fmt(abc_rate / scalar_rate, 2) + "x"});
   table.print();
+
+  if (!args.json_path.empty()) {
+    if (!rep.write(args.json_path)) return 1;
+    std::printf("\nJSON results written to %s\n", args.json_path.c_str());
+  }
 
   const unsigned cores = std::thread::hardware_concurrency();
   std::printf("\nThreadPoolBackend at 4 workers: %.2fx the scalar rate on a "

@@ -1,17 +1,33 @@
-// Kernel-level microbenchmarks (google-benchmark): the primitive
-// throughputs behind the CPU baseline of Fig. 5(a) — NTT/INTT, the
-// canonical-embedding DWT, hardware-model modular multipliers, ChaCha20
-// expansion, and end-to-end encode/encrypt at bootstrappable parameters.
+// Kernel-level microbenchmarks: the primitive throughputs behind the CPU
+// baseline of Fig. 5(a) — NTT/INTT (seed eager-reduction kernel vs. the
+// Harvey lazy-reduction portable and AVX2 kernels), the batched dyadic ops
+// (seed per-element Barrett vs. the simd/ kernel set), the canonical-
+// embedding DWT, hardware-model modular multipliers, ChaCha20 expansion,
+// and end-to-end encode/encrypt at bootstrappable parameters.
+//
+// Usage: bench_kernels [--quick] [--reps N] [--json out.json]
+//   --quick restricts sizes and reps for CI smoke runs; --json emits the
+//   machine-readable results (bench_util.hpp schema), including
+//   "ntt_roundtrip_speedup/..." — the lazy-vs-eager forward+inverse ratio
+//   the PR 2 acceptance gate reads.
 
-#include <benchmark/benchmark.h>
-
+#include <cstdio>
+#include <functional>
 #include <random>
+#include <span>
+#include <string>
+#include <vector>
 
+#include "bench_util.hpp"
 #include "ckks/encoder.hpp"
 #include "ckks/encryptor.hpp"
-#include "prng/samplers.hpp"
+#include "common/table.hpp"
+#include "prng/chacha20.hpp"
 #include "rns/modmul_algorithms.hpp"
+#include "rns/montgomery.hpp"
 #include "rns/ntt_prime.hpp"
+#include "simd/dyadic_kernels.hpp"
+#include "simd/simd_caps.hpp"
 #include "transform/dwt.hpp"
 #include "transform/ntt.hpp"
 
@@ -19,99 +35,240 @@ namespace {
 
 using namespace abc;
 
-void BM_NttForward(benchmark::State& state) {
-  const int log_n = static_cast<int>(state.range(0));
-  const rns::Modulus q(rns::select_prime_chain(36, log_n, 1)[0]);
-  const xf::NttTables tables(q, log_n);
-  std::mt19937_64 rng(1);
-  std::vector<u64> a(tables.n());
-  for (u64& v : a) v = rng() % q.value();
-  for (auto _ : state) {
-    tables.forward(a);
-    benchmark::DoNotOptimize(a.data());
-  }
-  state.SetItemsProcessed(state.iterations() *
-                          static_cast<i64>(tables.n()));
+std::vector<u64> random_poly(std::size_t n, u64 q, u64 seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<u64> a(n);
+  for (u64& v : a) v = rng() % q;
+  return a;
 }
-BENCHMARK(BM_NttForward)->Arg(13)->Arg(14)->Arg(15)->Arg(16);
 
-void BM_NttInverse(benchmark::State& state) {
-  const int log_n = static_cast<int>(state.range(0));
-  const rns::Modulus q(rns::select_prime_chain(36, log_n, 1)[0]);
-  const xf::NttTables tables(q, log_n);
-  std::mt19937_64 rng(2);
-  std::vector<u64> a(tables.n());
-  for (u64& v : a) v = rng() % q.value();
-  for (auto _ : state) {
-    tables.inverse(a);
-    benchmark::DoNotOptimize(a.data());
+struct NttVariant {
+  const char* name;
+  simd::KernelArch arch;  // meaningful for the lazy kernels only
+  bool eager;
+};
+
+void bench_ntt(bench::JsonReporter& rep, TextTable& table, int reps,
+               bool quick) {
+  const bool have_avx2 = simd::avx2_selectable();
+  std::vector<NttVariant> variants = {
+      {"eager", simd::KernelArch::kPortable, true},
+      {"lazy_portable", simd::KernelArch::kPortable, false},
+  };
+  if (have_avx2) {
+    variants.push_back({"lazy_avx2", simd::KernelArch::kAvx2, false});
   }
-  state.SetItemsProcessed(state.iterations() *
-                          static_cast<i64>(tables.n()));
-}
-BENCHMARK(BM_NttInverse)->Arg(16);
 
-void BM_DwtForward(benchmark::State& state) {
-  const int log_n = static_cast<int>(state.range(0));
-  const xf::CkksDwtPlan plan(log_n);
-  std::vector<xf::Cx<double>> a(plan.n(), {1.0, 0.5});
-  for (auto _ : state) {
-    plan.forward(std::span<xf::Cx<double>>(a));
-    benchmark::DoNotOptimize(a.data());
-  }
-  state.SetItemsProcessed(state.iterations() * static_cast<i64>(plan.n()));
-}
-BENCHMARK(BM_DwtForward)->Arg(14)->Arg(16);
+  const std::vector<int> sizes = quick ? std::vector<int>{13, 16}
+                                       : std::vector<int>{13, 14, 15, 16};
+  for (int log_n : sizes) {
+    const rns::Modulus q(rns::select_prime_chain(36, log_n, 1)[0]);
+    const xf::NttTables tables(q, log_n);
+    const std::size_t n = tables.n();
+    const std::string suffix = "/n=2^" + std::to_string(log_n);
 
-template <class ModMul>
-void BM_HwModMul(benchmark::State& state) {
-  const u64 q = (u64{1} << 36) - (u64{1} << 18) + 1;
-  ModMul mm = [&] {
-    if constexpr (std::is_same_v<ModMul, rns::BarrettHwModMul>) {
-      return ModMul(q);
-    } else {
-      return ModMul(q, 44);
+    double eager_roundtrip = 0;
+    for (const NttVariant& v : variants) {
+      simd::set_kernel_arch_for_testing(v.arch);
+      std::vector<u64> a = random_poly(n, q.value(), 1);
+      // forward keeps values canonical, so repeated application is stable.
+      const double fwd = bench::time_best_of(reps, [&] {
+        v.eager ? tables.forward_eager(a) : tables.forward(a);
+      });
+      std::vector<u64> b = random_poly(n, q.value(), 2);
+      const double inv = bench::time_best_of(reps, [&] {
+        v.eager ? tables.inverse_eager(b) : tables.inverse(b);
+      });
+      if (v.eager) eager_roundtrip = fwd + inv;
+      rep.add_timing(std::string("ntt_fwd/") + v.name + suffix, fwd,
+                     static_cast<double>(n));
+      rep.add_timing(std::string("ntt_inv/") + v.name + suffix, inv,
+                     static_cast<double>(n));
+      const double speedup = eager_roundtrip / (fwd + inv);
+      rep.add_metric(std::string("ntt_roundtrip_speedup/") + v.name + suffix,
+                     "speedup", speedup);
+      table.add_row({"ntt fwd+inv " + std::to_string(log_n), v.name,
+                     bench::fmt_time(fwd + inv),
+                     TextTable::fmt(speedup, 2) + "x"});
     }
-  }();
-  std::mt19937_64 rng(3);
-  u64 a = rng() % q, b = rng() % q;
-  for (auto _ : state) {
-    a = mm.mul(a, b) | 1;
-    benchmark::DoNotOptimize(a);
   }
+  simd::set_kernel_arch_for_testing(simd::detected_kernel_arch());
 }
-BENCHMARK_TEMPLATE(BM_HwModMul, rns::BarrettHwModMul);
-BENCHMARK_TEMPLATE(BM_HwModMul, rns::MontgomeryHwModMul);
-BENCHMARK_TEMPLATE(BM_HwModMul, rns::NttFriendlyMontgomeryHwModMul);
 
-void BM_ChaCha20Expand(benchmark::State& state) {
-  prng::ChaCha20 rng({1, 2, 3}, 0);
-  std::vector<u8> buf(4096);
-  for (auto _ : state) {
-    rng.fill_bytes(buf);
-    benchmark::DoNotOptimize(buf.data());
-  }
-  state.SetBytesProcessed(state.iterations() *
-                          static_cast<i64>(buf.size()));
-}
-BENCHMARK(BM_ChaCha20Expand);
+void bench_dyadic(bench::JsonReporter& rep, TextTable& table, int reps) {
+  const int log_n = 16;
+  const std::size_t n = std::size_t{1} << log_n;
+  const rns::Modulus q(rns::select_prime_chain(36, log_n, 1)[0]);
+  const simd::DyadicModulus dm = simd::DyadicModulus::make(q);
+  const std::vector<u64> src = random_poly(n, q.value(), 3);
+  const std::vector<u64> aux = random_poly(n, q.value(), 4);
+  const rns::ShoupMul scalar = rns::ShoupMul::make(q.reduce(12345), q);
 
-void BM_EncodeEncrypt(benchmark::State& state) {
-  // Reduced-depth version of the Fig. 5a CPU measurement so the suite
-  // stays quick; the full numbers come from bench_fig5a_latency.
-  auto ctx = ckks::CkksContext::create(ckks::CkksParams::sweep_point(14, 8));
-  ckks::CkksEncoder encoder(ctx);
-  ckks::KeyGenerator keygen(ctx);
-  const ckks::SecretKey sk = keygen.secret_key();
-  ckks::Encryptor enc(ctx, sk);
-  std::vector<std::complex<double>> msg(encoder.slots(), {0.5, -0.25});
-  for (auto _ : state) {
-    ckks::Ciphertext ct = enc.encrypt(encoder.encode(msg, 8));
-    benchmark::DoNotOptimize(ct.components.data());
+  struct Op {
+    const char* name;
+    std::function<void(u64*)> seed;      // seed per-element Modulus loop
+    std::function<void(u64*)> kernel;    // simd/ kernel (active arch)
+  };
+  const std::vector<Op> ops = {
+      {"add",
+       [&](u64* d) { for (std::size_t j = 0; j < n; ++j) d[j] = q.add(d[j], src[j]); },
+       [&](u64* d) { simd::dyadic_add(dm, d, src.data(), n); }},
+      {"sub",
+       [&](u64* d) { for (std::size_t j = 0; j < n; ++j) d[j] = q.sub(d[j], src[j]); },
+       [&](u64* d) { simd::dyadic_sub(dm, d, src.data(), n); }},
+      {"mul",
+       [&](u64* d) { for (std::size_t j = 0; j < n; ++j) d[j] = q.mul(d[j], src[j]); },
+       [&](u64* d) { simd::dyadic_mul(dm, d, src.data(), n); }},
+      {"fma",
+       [&](u64* d) {
+         for (std::size_t j = 0; j < n; ++j)
+           d[j] = q.add(d[j], q.mul(src[j], aux[j]));
+       },
+       [&](u64* d) { simd::dyadic_fma(dm, d, src.data(), aux.data(), n); }},
+      {"mul_scalar",
+       [&](u64* d) {
+         for (std::size_t j = 0; j < n; ++j) d[j] = q.mul(d[j], scalar.operand);
+       },
+       [&](u64* d) {
+         simd::dyadic_mul_scalar(dm, d, n, scalar.operand, scalar.quotient);
+       }},
+      {"negate",
+       [&](u64* d) { for (std::size_t j = 0; j < n; ++j) d[j] = q.negate(d[j]); },
+       [&](u64* d) { simd::dyadic_negate(dm, d, n); }},
+  };
+
+  const bool have_avx2 = simd::avx2_selectable();
+  for (const Op& op : ops) {
+    std::vector<u64> d = random_poly(n, q.value(), 5);
+    const double seed_t =
+        bench::time_best_of(reps, [&] { op.seed(d.data()); });
+    rep.add_timing(std::string("dyadic/") + op.name + "/seed", seed_t,
+                   static_cast<double>(n));
+
+    simd::set_kernel_arch_for_testing(simd::KernelArch::kPortable);
+    d = random_poly(n, q.value(), 5);
+    const double port_t =
+        bench::time_best_of(reps, [&] { op.kernel(d.data()); });
+    rep.add_timing(std::string("dyadic/") + op.name + "/portable", port_t,
+                   static_cast<double>(n));
+
+    double best_t = port_t;
+    const char* best_name = "portable";
+    if (have_avx2) {
+      simd::set_kernel_arch_for_testing(simd::KernelArch::kAvx2);
+      d = random_poly(n, q.value(), 5);
+      const double avx_t =
+          bench::time_best_of(reps, [&] { op.kernel(d.data()); });
+      rep.add_timing(std::string("dyadic/") + op.name + "/avx2", avx_t,
+                     static_cast<double>(n));
+      if (avx_t < best_t) {
+        best_t = avx_t;
+        best_name = "avx2";
+      }
+    }
+    rep.add_metric(std::string("dyadic_speedup/") + op.name, "speedup",
+                   seed_t / best_t);
+    table.add_row({std::string("dyadic ") + op.name + " 2^16", best_name,
+                   bench::fmt_time(best_t),
+                   TextTable::fmt(seed_t / best_t, 2) + "x"});
+  }
+  simd::set_kernel_arch_for_testing(simd::detected_kernel_arch());
+}
+
+void bench_misc(bench::JsonReporter& rep, TextTable& table, int reps,
+                bool quick) {
+  // Canonical-embedding DWT.
+  for (int log_n : {14, 16}) {
+    const xf::CkksDwtPlan plan(log_n);
+    std::vector<xf::Cx<double>> a(plan.n(), {1.0, 0.5});
+    const double t = bench::time_best_of(
+        reps, [&] { plan.forward(std::span<xf::Cx<double>>(a)); });
+    rep.add_timing("dwt_fwd/n=2^" + std::to_string(log_n), t,
+                   static_cast<double>(plan.n()));
+    table.add_row({"dwt fwd " + std::to_string(log_n), "-",
+                   bench::fmt_time(t), "-"});
+  }
+
+  // Hardware-model modular multipliers (dependent-chain latency).
+  const u64 qv = (u64{1} << 36) - (u64{1} << 18) + 1;
+  constexpr int kChain = 1 << 18;
+  auto chain = [&](auto& mm, const char* name) {
+    std::mt19937_64 rng(3);
+    u64 a = rng() % qv;
+    const u64 b = rng() % qv;
+    const double t = bench::time_best_of(reps, [&] {
+      for (int i = 0; i < kChain; ++i) a = mm.mul(a, b) | 1;
+    });
+    rep.add_timing(std::string("hw_modmul/") + name, t,
+                   static_cast<double>(kChain));
+    table.add_row({std::string("hw modmul ") + name, "-",
+                   bench::fmt_time(t / kChain), "-"});
+  };
+  rns::BarrettHwModMul barrett(qv);
+  rns::MontgomeryHwModMul mont(qv, 44);
+  rns::NttFriendlyMontgomeryHwModMul ntt_mont(qv, 44);
+  chain(barrett, "barrett");
+  chain(mont, "montgomery");
+  chain(ntt_mont, "ntt_montgomery");
+
+  // ChaCha20 expansion.
+  {
+    prng::ChaCha20 rng({1, 2, 3}, 0);
+    std::vector<u8> buf(4096);
+    const double t = bench::time_best_of(reps, [&] { rng.fill_bytes(buf); });
+    rep.add_timing("chacha20_expand_4096B", t,
+                   static_cast<double>(buf.size()));
+    table.add_row({"chacha20 4096B", "-", bench::fmt_time(t), "-"});
+  }
+
+  // End-to-end encode+encrypt (reduced-depth; full numbers come from
+  // bench_fig5a_latency).
+  if (!quick) {
+    auto ctx =
+        ckks::CkksContext::create(ckks::CkksParams::sweep_point(14, 8));
+    ckks::CkksEncoder encoder(ctx);
+    ckks::KeyGenerator keygen(ctx);
+    const ckks::SecretKey sk = keygen.secret_key();
+    ckks::Encryptor enc(ctx, sk);
+    std::vector<std::complex<double>> msg(encoder.slots(), {0.5, -0.25});
+    const double t = bench::time_best_of(reps, [&] {
+      ckks::Ciphertext ct = enc.encrypt(encoder.encode(msg, 8));
+      if (ct.components.empty()) std::abort();
+    });
+    rep.add_timing("encode_encrypt/n=2^14/limbs=8", t, 1.0);
+    table.add_row({"encode+encrypt 2^14x8", "-", bench::fmt_time(t), "-"});
   }
 }
-BENCHMARK(BM_EncodeEncrypt)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
+  const int reps = args.reps > 0 ? args.reps : (args.quick ? 2 : 5);
+
+  std::printf("ABC-FHE reproduction :: kernel microbenchmarks\n");
+  std::printf("Kernel arch: %s (AVX2 %s; set ABC_FORCE_PORTABLE_KERNELS=1 "
+              "to force portable)\n\n",
+              simd::kernel_arch_name(simd::active_kernel_arch()),
+              simd::avx2_supported() ? "available" : "unavailable");
+
+  bench::JsonReporter rep("bench_kernels");
+  rep.add_metric("meta/avx2_supported", "value",
+                 simd::avx2_supported() ? 1.0 : 0.0);
+
+  TextTable table("Kernel timings (best of " + std::to_string(reps) +
+                  " reps; speed-up vs seed kernel where applicable)");
+  table.set_header({"Kernel", "Variant", "Time", "Speed-up"});
+
+  bench_ntt(rep, table, reps, args.quick);
+  bench_dyadic(rep, table, reps);
+  bench_misc(rep, table, reps, args.quick);
+
+  table.print();
+
+  if (!args.json_path.empty()) {
+    if (!rep.write(args.json_path)) return 1;
+    std::printf("\nJSON results written to %s\n", args.json_path.c_str());
+  }
+  return 0;
+}

@@ -3,6 +3,7 @@
 #include "backend/scalar_backend.hpp"
 #include "common/check.hpp"
 #include "poly/poly_context.hpp"
+#include "simd/dyadic_kernels.hpp"
 #include "transform/op_counter.hpp"
 
 namespace abc::backend {
@@ -36,14 +37,18 @@ void PolyBackend::ntt_inverse(const poly::PolyContext& ctx,
   });
 }
 
+// The element-wise kernels below route through the simd/ dyadic kernel set
+// (AVX2 or portable, runtime-dispatched) with the per-limb word constants
+// hoisted out of the loops; results are bit-identical to the seed's
+// Modulus::add/sub/mul element loops.
+
 void PolyBackend::add(const poly::PolyContext& ctx, std::span<u64> dst,
                       std::span<const u64> src, std::size_t limbs) {
   const std::size_t n = ctx.n();
   parallel_for(limbs, [&](std::size_t i, std::size_t) {
-    const rns::Modulus& q = ctx.modulus(i);
-    std::span<u64> d = limb_of(dst, i, n);
-    std::span<const u64> s = limb_of(src, i, n);
-    for (std::size_t j = 0; j < n; ++j) d[j] = q.add(d[j], s[j]);
+    const simd::DyadicModulus& m = ctx.dyadic(i);
+    simd::dyadic_add(m, limb_of(dst, i, n).data(),
+                     limb_of(src, i, n).data(), n);
     xf::op_counts().poly_add += n;
   });
 }
@@ -52,10 +57,9 @@ void PolyBackend::sub(const poly::PolyContext& ctx, std::span<u64> dst,
                       std::span<const u64> src, std::size_t limbs) {
   const std::size_t n = ctx.n();
   parallel_for(limbs, [&](std::size_t i, std::size_t) {
-    const rns::Modulus& q = ctx.modulus(i);
-    std::span<u64> d = limb_of(dst, i, n);
-    std::span<const u64> s = limb_of(src, i, n);
-    for (std::size_t j = 0; j < n; ++j) d[j] = q.sub(d[j], s[j]);
+    const simd::DyadicModulus& m = ctx.dyadic(i);
+    simd::dyadic_sub(m, limb_of(dst, i, n).data(),
+                     limb_of(src, i, n).data(), n);
     xf::op_counts().poly_add += n;
   });
 }
@@ -64,10 +68,9 @@ void PolyBackend::mul(const poly::PolyContext& ctx, std::span<u64> dst,
                       std::span<const u64> src, std::size_t limbs) {
   const std::size_t n = ctx.n();
   parallel_for(limbs, [&](std::size_t i, std::size_t) {
-    const rns::Modulus& q = ctx.modulus(i);
-    std::span<u64> d = limb_of(dst, i, n);
-    std::span<const u64> s = limb_of(src, i, n);
-    for (std::size_t j = 0; j < n; ++j) d[j] = q.mul(d[j], s[j]);
+    const simd::DyadicModulus& m = ctx.dyadic(i);
+    simd::dyadic_mul(m, limb_of(dst, i, n).data(),
+                     limb_of(src, i, n).data(), n);
     xf::op_counts().poly_mul += n;
   });
 }
@@ -77,13 +80,9 @@ void PolyBackend::fma(const poly::PolyContext& ctx, std::span<u64> dst,
                       std::size_t limbs) {
   const std::size_t n = ctx.n();
   parallel_for(limbs, [&](std::size_t i, std::size_t) {
-    const rns::Modulus& q = ctx.modulus(i);
-    std::span<u64> d = limb_of(dst, i, n);
-    std::span<const u64> sa = limb_of(a, i, n);
-    std::span<const u64> sb = limb_of(b, i, n);
-    for (std::size_t j = 0; j < n; ++j) {
-      d[j] = q.add(d[j], q.mul(sa[j], sb[j]));
-    }
+    const simd::DyadicModulus& m = ctx.dyadic(i);
+    simd::dyadic_fma(m, limb_of(dst, i, n).data(), limb_of(a, i, n).data(),
+                     limb_of(b, i, n).data(), n);
     xf::op_counts().poly_mul += n;
     xf::op_counts().poly_add += n;
   });
@@ -93,8 +92,8 @@ void PolyBackend::negate(const poly::PolyContext& ctx, std::span<u64> dst,
                          std::size_t limbs) {
   const std::size_t n = ctx.n();
   parallel_for(limbs, [&](std::size_t i, std::size_t) {
-    const rns::Modulus& q = ctx.modulus(i);
-    for (u64& v : limb_of(dst, i, n)) v = q.negate(v);
+    const simd::DyadicModulus& m = ctx.dyadic(i);
+    simd::dyadic_negate(m, limb_of(dst, i, n).data(), n);
     xf::op_counts().poly_add += n;
   });
 }
@@ -104,8 +103,9 @@ void PolyBackend::mul_scalar(const poly::PolyContext& ctx, std::span<u64> dst,
   const std::size_t n = ctx.n();
   parallel_for(limbs, [&](std::size_t i, std::size_t) {
     const rns::Modulus& q = ctx.modulus(i);
-    const u64 s = q.reduce(scalar);
-    for (u64& v : limb_of(dst, i, n)) v = q.mul(v, s);
+    const rns::ShoupMul s = rns::ShoupMul::make(q.reduce(scalar), q);
+    simd::dyadic_mul_scalar(ctx.dyadic(i), limb_of(dst, i, n).data(), n,
+                            s.operand, s.quotient);
     xf::op_counts().poly_mul += n;
   });
 }

@@ -12,8 +12,10 @@ PolyContext::PolyContext(int log_n, const std::vector<u64>& primes,
       backend_(backend ? std::move(backend) : backend::default_backend()) {
   ABC_CHECK_ARG(log_n >= 2 && log_n <= 17, "log_n out of range");
   ntt_.reserve(primes.size());
+  dyadic_.reserve(primes.size());
   for (std::size_t i = 0; i < basis_.size(); ++i) {
     ntt_.emplace_back(basis_.modulus(i), log_n);
+    dyadic_.push_back(simd::DyadicModulus::make(basis_.modulus(i)));
   }
 }
 

@@ -11,6 +11,7 @@
 
 #include "backend/poly_backend.hpp"
 #include "rns/rns_basis.hpp"
+#include "simd/dyadic_kernels.hpp"
 #include "transform/ntt.hpp"
 
 namespace abc::poly {
@@ -40,6 +41,12 @@ class PolyContext {
   }
   const xf::NttTables& ntt(std::size_t limb) const { return ntt_.at(limb); }
 
+  /// Precomputed per-limb constants for the simd/ dyadic kernels (saves the
+  /// 128-bit division DyadicModulus::make costs on every kernel call).
+  const simd::DyadicModulus& dyadic(std::size_t limb) const {
+    return dyadic_.at(limb);
+  }
+
   backend::PolyBackend& backend() const noexcept { return *backend_; }
   const std::shared_ptr<backend::PolyBackend>& backend_ptr() const noexcept {
     return backend_;
@@ -50,6 +57,7 @@ class PolyContext {
   std::size_t n_;
   rns::RnsBasis basis_;
   std::vector<xf::NttTables> ntt_;
+  std::vector<simd::DyadicModulus> dyadic_;
   std::shared_ptr<backend::PolyBackend> backend_;
 };
 

@@ -84,12 +84,25 @@ struct ShoupMul {
     return {operand, static_cast<u64>(wide / q.value())};
   }
 
-  /// (x * operand) mod q; requires x < q... actually any x < 2^64 works as
-  /// long as operand < q; result < q.
+  /// (x * operand) mod q, fully reduced.
+  ///
+  /// Input-domain contract (Harvey's bound): operand < q is required; x may
+  /// be ANY 64-bit value — in particular the lazily-reduced values in
+  /// [0, 2q) or [0, 4q) the Harvey NTT kernels circulate. The raw product
+  /// x*operand - floor(x*quotient/2^64)*q is always < 2q, so one
+  /// conditional subtraction reaches the canonical [0, q) representative.
   u64 mul(u64 x, u64 q) const noexcept {
-    const u64 hi = mul_hi(x, quotient);
-    const u64 r = x * operand - hi * q;  // wraps mod 2^64 by construction
+    const u64 r = mul_lazy(x, q);
     return r >= q ? r - q : r;
+  }
+
+  /// Lazy variant without the final conditional subtraction: result < 2q
+  /// (same contract: operand < q, any 64-bit x). Building block of the
+  /// lazy-reduction butterflies, which defer canonicalization to a single
+  /// correction pass.
+  u64 mul_lazy(u64 x, u64 q) const noexcept {
+    const u64 hi = mul_hi(x, quotient);
+    return x * operand - hi * q;  // wraps mod 2^64 by construction
   }
 };
 

@@ -1,0 +1,90 @@
+#pragma once
+
+/// @file avx2_math.hpp
+/// Shared AVX2 building blocks for the kernel TUs compiled with -mavx2.
+/// AVX2 has no 64x64 multiply, so products are assembled from the four
+/// 32x32 partials _mm256_mul_epu32 provides; unsigned 64-bit compares are
+/// emulated by biasing both sides with the sign bit.
+///
+/// Only include from translation units compiled with AVX2 enabled.
+
+#include <immintrin.h>
+
+#include "common/types.hpp"
+
+namespace abc::simd::avx2 {
+
+inline __m256i splat(u64 v) noexcept {
+  return _mm256_set1_epi64x(static_cast<long long>(v));
+}
+
+/// Low 64 bits of the lane-wise 64x64 product.
+inline __m256i mul_lo64(__m256i x, __m256i y) noexcept {
+  const __m256i x_hi = _mm256_srli_epi64(x, 32);
+  const __m256i y_hi = _mm256_srli_epi64(y, 32);
+  const __m256i cross = _mm256_add_epi64(_mm256_mul_epu32(x_hi, y),
+                                         _mm256_mul_epu32(x, y_hi));
+  return _mm256_add_epi64(_mm256_mul_epu32(x, y),
+                          _mm256_slli_epi64(cross, 32));
+}
+
+/// High 64 bits of the lane-wise 64x64 product.
+inline __m256i mul_hi64(__m256i x, __m256i y) noexcept {
+  const __m256i mask32 = _mm256_set1_epi64x(0xFFFFFFFFLL);
+  const __m256i x_hi = _mm256_srli_epi64(x, 32);
+  const __m256i y_hi = _mm256_srli_epi64(y, 32);
+  const __m256i ll = _mm256_mul_epu32(x, y);
+  const __m256i lh = _mm256_mul_epu32(x, y_hi);
+  const __m256i hl = _mm256_mul_epu32(x_hi, y);
+  const __m256i hh = _mm256_mul_epu32(x_hi, y_hi);
+  // carry chain: t collects the bits that straddle the 32-bit boundary.
+  __m256i t = _mm256_add_epi64(_mm256_srli_epi64(ll, 32),
+                               _mm256_and_si256(lh, mask32));
+  t = _mm256_add_epi64(t, _mm256_and_si256(hl, mask32));
+  __m256i hi = _mm256_add_epi64(hh, _mm256_srli_epi64(t, 32));
+  hi = _mm256_add_epi64(hi, _mm256_srli_epi64(lh, 32));
+  return _mm256_add_epi64(hi, _mm256_srli_epi64(hl, 32));
+}
+
+/// Both halves of the lane-wise 64x64 product (shares the partials).
+inline void mul_wide64(__m256i x, __m256i y, __m256i& lo,
+                       __m256i& hi) noexcept {
+  const __m256i mask32 = _mm256_set1_epi64x(0xFFFFFFFFLL);
+  const __m256i x_hi = _mm256_srli_epi64(x, 32);
+  const __m256i y_hi = _mm256_srli_epi64(y, 32);
+  const __m256i ll = _mm256_mul_epu32(x, y);
+  const __m256i lh = _mm256_mul_epu32(x, y_hi);
+  const __m256i hl = _mm256_mul_epu32(x_hi, y);
+  const __m256i hh = _mm256_mul_epu32(x_hi, y_hi);
+  __m256i t = _mm256_add_epi64(_mm256_srli_epi64(ll, 32),
+                               _mm256_and_si256(lh, mask32));
+  t = _mm256_add_epi64(t, _mm256_and_si256(hl, mask32));
+  lo = _mm256_or_si256(_mm256_slli_epi64(t, 32),
+                       _mm256_and_si256(ll, mask32));
+  hi = _mm256_add_epi64(hh, _mm256_srli_epi64(t, 32));
+  hi = _mm256_add_epi64(hi, _mm256_srli_epi64(lh, 32));
+  hi = _mm256_add_epi64(hi, _mm256_srli_epi64(hl, 32));
+}
+
+/// Lane mask: all-ones where a < b, treating lanes as unsigned 64-bit.
+inline __m256i cmplt_epu64(__m256i a, __m256i b) noexcept {
+  const __m256i sign = _mm256_set1_epi64x(
+      static_cast<long long>(0x8000000000000000ULL));
+  return _mm256_cmpgt_epi64(_mm256_xor_si256(b, sign),
+                            _mm256_xor_si256(a, sign));
+}
+
+/// v - (v >= bound ? bound : 0), unsigned lanes.
+inline __m256i cond_sub(__m256i v, __m256i bound) noexcept {
+  const __m256i lt = cmplt_epu64(v, bound);
+  return _mm256_sub_epi64(v, _mm256_andnot_si256(lt, bound));
+}
+
+/// Lazy Shoup product per lane: x*w - mulhi(x, w_shoup)*q, result < 2q.
+inline __m256i shoup_mul_lazy(__m256i x, __m256i w, __m256i w_shoup,
+                              __m256i q) noexcept {
+  const __m256i h = mul_hi64(x, w_shoup);
+  return _mm256_sub_epi64(mul_lo64(x, w), mul_lo64(h, q));
+}
+
+}  // namespace abc::simd::avx2

@@ -1,0 +1,115 @@
+#include "simd/dyadic_kernels.hpp"
+
+#include "common/check.hpp"
+#include "rns/modulus.hpp"
+#include "simd/kernels_avx2.hpp"
+#include "simd/simd_caps.hpp"
+
+namespace abc::simd {
+
+DyadicModulus DyadicModulus::make(const rns::Modulus& q) {
+  const u64 qv = q.value();
+  ABC_CHECK_ARG((qv & (qv - 1)) != 0,
+                "dyadic kernels require a non-power-of-two modulus");
+  DyadicModulus m;
+  m.q = qv;
+  m.two_q = 2 * qv;
+  m.shift = q.bit_count() - 1;
+  // q > 2^shift strictly (q is not a power of two), so the ratio fits.
+  m.ratio = static_cast<u64>((static_cast<u128>(1) << (64 + m.shift)) / qv);
+  return m;
+}
+
+void dyadic_add_portable(const DyadicModulus& m, u64* dst, const u64* src,
+                         std::size_t n) {
+  const u64 q = m.q;
+  for (std::size_t j = 0; j < n; ++j) {
+    const u64 s = dst[j] + src[j];
+    dst[j] = s >= q ? s - q : s;
+  }
+}
+
+void dyadic_sub_portable(const DyadicModulus& m, u64* dst, const u64* src,
+                         std::size_t n) {
+  const u64 q = m.q;
+  for (std::size_t j = 0; j < n; ++j) {
+    const u64 d = dst[j];
+    const u64 s = src[j];
+    dst[j] = d >= s ? d - s : d + q - s;
+  }
+}
+
+void dyadic_mul_portable(const DyadicModulus& m, u64* dst, const u64* src,
+                         std::size_t n) {
+  for (std::size_t j = 0; j < n; ++j) dst[j] = m.mul(dst[j], src[j]);
+}
+
+void dyadic_fma_portable(const DyadicModulus& m, u64* dst, const u64* a,
+                         const u64* b, std::size_t n) {
+  const u64 q = m.q;
+  for (std::size_t j = 0; j < n; ++j) {
+    const u64 s = dst[j] + m.mul(a[j], b[j]);
+    dst[j] = s >= q ? s - q : s;
+  }
+}
+
+void dyadic_negate_portable(const DyadicModulus& m, u64* dst, std::size_t n) {
+  const u64 q = m.q;
+  for (std::size_t j = 0; j < n; ++j) {
+    const u64 v = dst[j];
+    dst[j] = v == 0 ? 0 : q - v;
+  }
+}
+
+void dyadic_mul_scalar_portable(const DyadicModulus& m, u64* dst,
+                                std::size_t n, u64 s, u64 s_shoup) {
+  const u64 q = m.q;
+  for (std::size_t j = 0; j < n; ++j) {
+    u64 r = dst[j] * s - mul_hi(dst[j], s_shoup) * q;  // lazy, < 2q
+    if (r >= q) r -= q;
+    dst[j] = r;
+  }
+}
+
+namespace {
+inline bool use_avx2() noexcept {
+  return active_kernel_arch() == KernelArch::kAvx2;
+}
+}  // namespace
+
+void dyadic_add(const DyadicModulus& m, u64* dst, const u64* src,
+                std::size_t n) {
+  use_avx2() ? dyadic_add_avx2(m, dst, src, n)
+             : dyadic_add_portable(m, dst, src, n);
+}
+
+void dyadic_sub(const DyadicModulus& m, u64* dst, const u64* src,
+                std::size_t n) {
+  use_avx2() ? dyadic_sub_avx2(m, dst, src, n)
+             : dyadic_sub_portable(m, dst, src, n);
+}
+
+void dyadic_mul(const DyadicModulus& m, u64* dst, const u64* src,
+                std::size_t n) {
+  use_avx2() ? dyadic_mul_avx2(m, dst, src, n)
+             : dyadic_mul_portable(m, dst, src, n);
+}
+
+void dyadic_fma(const DyadicModulus& m, u64* dst, const u64* a, const u64* b,
+                std::size_t n) {
+  use_avx2() ? dyadic_fma_avx2(m, dst, a, b, n)
+             : dyadic_fma_portable(m, dst, a, b, n);
+}
+
+void dyadic_negate(const DyadicModulus& m, u64* dst, std::size_t n) {
+  use_avx2() ? dyadic_negate_avx2(m, dst, n)
+             : dyadic_negate_portable(m, dst, n);
+}
+
+void dyadic_mul_scalar(const DyadicModulus& m, u64* dst, std::size_t n, u64 s,
+                       u64 s_shoup) {
+  use_avx2() ? dyadic_mul_scalar_avx2(m, dst, n, s, s_shoup)
+             : dyadic_mul_scalar_portable(m, dst, n, s, s_shoup);
+}
+
+}  // namespace abc::simd

@@ -1,0 +1,91 @@
+#pragma once
+
+/// @file dyadic_kernels.hpp
+/// Batched element-wise (dyadic) modular kernels over one RNS limb, with a
+/// portable and an AVX2 implementation behind a runtime dispatcher.
+///
+/// The seed code reduced every product with Modulus::reduce_128 — a
+/// two-word Barrett using floor(2^128/q) that costs ~5 wide multiplies per
+/// element. These kernels hoist a single-word *shifted* Barrett constant
+/// per limb instead:
+///
+///     shift = bit_count(q) - 1,   ratio = floor(2^(64+shift) / q)
+///     z    = a * b                       (z < q^2)
+///     zh   = z >> shift                  (fits in 64 bits: zh < 2q)
+///     qhat = mulhi(zh, ratio)            (qhat in [Q-2, Q], Q = floor(z/q))
+///     r    = lo64(z) - qhat * q          (r < 3q; <= 2 corrections)
+///
+/// which is 3 wide multiplies and vectorizes (the AVX2 path assembles the
+/// 64x64 products from _mm256_mul_epu32 partials). Scalar-by-vector
+/// products use a Shoup pair instead (1 mulhi + 2 mullo). All kernels
+/// return canonical [0, q) values, bit-identical to the seed's
+/// Modulus::add/sub/mul results.
+
+#include <cstddef>
+
+#include "common/types.hpp"
+
+namespace abc::rns {
+class Modulus;
+}
+
+namespace abc::simd {
+
+/// Per-limb word constants the dyadic kernels run on. Cheap to build (one
+/// 128-bit division); callers typically make one per limb per kernel call.
+struct DyadicModulus {
+  u64 q = 0;
+  u64 two_q = 0;
+  u64 ratio = 0;  // floor(2^(64+shift) / q)
+  int shift = 0;  // bit_count(q) - 1
+
+  /// Requires a non-power-of-two modulus (all NTT primes qualify) so the
+  /// shifted ratio fits in one word.
+  static DyadicModulus make(const rns::Modulus& q);
+
+  /// Canonical dyadic product via the shifted Barrett constant.
+  u64 mul(u64 a, u64 b) const noexcept {
+    const u128 z = mul_wide(a, b);
+    const u64 zh = static_cast<u64>(z >> shift);
+    const u64 qhat = mul_hi(zh, ratio);
+    u64 r = lo64(z) - qhat * q;
+    if (r >= two_q) r -= two_q;
+    if (r >= q) r -= q;
+    return r;
+  }
+};
+
+/// dst[j] = dst[j] + src[j] (mod q); inputs and outputs canonical.
+void dyadic_add(const DyadicModulus& m, u64* dst, const u64* src,
+                std::size_t n);
+/// dst[j] = dst[j] - src[j] (mod q).
+void dyadic_sub(const DyadicModulus& m, u64* dst, const u64* src,
+                std::size_t n);
+/// dst[j] = dst[j] * src[j] (mod q).
+void dyadic_mul(const DyadicModulus& m, u64* dst, const u64* src,
+                std::size_t n);
+/// dst[j] += a[j] * b[j] (mod q), single pass.
+void dyadic_fma(const DyadicModulus& m, u64* dst, const u64* a, const u64* b,
+                std::size_t n);
+/// dst[j] = -dst[j] (mod q).
+void dyadic_negate(const DyadicModulus& m, u64* dst, std::size_t n);
+/// dst[j] = dst[j] * s (mod q); s must be reduced (< q), s_shoup its Shoup
+/// quotient floor(s * 2^64 / q).
+void dyadic_mul_scalar(const DyadicModulus& m, u64* dst, std::size_t n, u64 s,
+                       u64 s_shoup);
+
+// -- portable kernels (dispatch targets; exposed for parity tests) ----------
+
+void dyadic_add_portable(const DyadicModulus& m, u64* dst, const u64* src,
+                         std::size_t n);
+void dyadic_sub_portable(const DyadicModulus& m, u64* dst, const u64* src,
+                         std::size_t n);
+void dyadic_mul_portable(const DyadicModulus& m, u64* dst, const u64* src,
+                         std::size_t n);
+void dyadic_fma_portable(const DyadicModulus& m, u64* dst, const u64* a,
+                         const u64* b, std::size_t n);
+void dyadic_negate_portable(const DyadicModulus& m, u64* dst, std::size_t n);
+void dyadic_mul_scalar_portable(const DyadicModulus& m, u64* dst,
+                                std::size_t n, u64 s, u64 s_shoup);
+
+}  // namespace abc::simd

@@ -1,0 +1,33 @@
+#pragma once
+
+/// @file kernels_avx2.hpp
+/// Internal declarations of the AVX2 kernel entry points, implemented in
+/// ntt_kernels_avx2.cpp / dyadic_kernels_avx2.cpp (compiled with -mavx2).
+/// Never call these directly — go through the dispatchers in
+/// ntt_kernels.hpp / dyadic_kernels.hpp, which check simd_caps first.
+
+#include <cstddef>
+
+#include "common/types.hpp"
+
+namespace abc::simd {
+
+struct NttLayout;
+struct DyadicModulus;
+
+void ntt_forward_lazy_avx2(const NttLayout& L, u64* a);
+void ntt_inverse_lazy_avx2(const NttLayout& L, u64* a);
+
+void dyadic_add_avx2(const DyadicModulus& m, u64* dst, const u64* src,
+                     std::size_t n);
+void dyadic_sub_avx2(const DyadicModulus& m, u64* dst, const u64* src,
+                     std::size_t n);
+void dyadic_mul_avx2(const DyadicModulus& m, u64* dst, const u64* src,
+                     std::size_t n);
+void dyadic_fma_avx2(const DyadicModulus& m, u64* dst, const u64* a,
+                     const u64* b, std::size_t n);
+void dyadic_negate_avx2(const DyadicModulus& m, u64* dst, std::size_t n);
+void dyadic_mul_scalar_avx2(const DyadicModulus& m, u64* dst, std::size_t n,
+                            u64 s, u64 s_shoup);
+
+}  // namespace abc::simd

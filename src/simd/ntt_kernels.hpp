@@ -1,0 +1,76 @@
+#pragma once
+
+/// @file ntt_kernels.hpp
+/// Harvey lazy-reduction NTT kernels (portable + AVX2, runtime-dispatched).
+///
+/// Algorithm (Harvey, "Faster arithmetic for number-theoretic transforms"):
+/// butterflies keep coefficients *lazily* reduced instead of canonical —
+///
+///   * forward (Cooley-Tukey, natural -> bit-reversed): inputs < q, every
+///     intermediate value stays in [0, 4q); one correction pass at the end
+///     maps the result back to [0, q);
+///   * inverse (Gentleman-Sande, bit-reversed -> natural): intermediates
+///     stay in [0, 2q); the final N^{-1} scaling fully reduces.
+///
+/// The twiddle multiplication is a lazy Shoup product
+///     r = x*w - floor(x*w_shoup / 2^64)*q   in [0, 2q)
+/// which is branch-free and valid for ANY 64-bit x as long as w < q (see
+/// rns::ShoupMul::mul_lazy). Laziness needs 4q < 2^64, i.e. q < 2^62 —
+/// exactly the Modulus bound.
+///
+/// Outputs are bit-identical to the eager reference kernels
+/// (NttTables::forward_eager / inverse_eager): both produce the canonical
+/// representative of the same transform.
+
+#include <cstddef>
+
+#include "common/types.hpp"
+
+namespace abc::simd {
+
+/// Non-owning view of one prime's NTT tables in the flat streaming layout:
+/// four parallel arrays indexed by bit-reversed twiddle index (entry i holds
+/// psi^bit_reverse(i) and its Shoup quotient; inv_* hold the inverses).
+struct NttLayout {
+  const u64* w = nullptr;         // forward twiddles, w[i] < q
+  const u64* w_shoup = nullptr;   // floor(w[i] * 2^64 / q)
+  const u64* inv_w = nullptr;     // inverse twiddles
+  const u64* inv_w_shoup = nullptr;
+  u64 q = 0;                      // prime modulus, q < 2^62
+  u64 n_inv = 0;                  // N^{-1} mod q
+  u64 n_inv_shoup = 0;            // Shoup quotient of n_inv
+  std::size_t n = 0;              // transform length, power of two
+  int log_n = 0;
+};
+
+/// In-place forward NTT, natural -> bit-reversed order, result in [0, q).
+/// Dispatches to the active kernel arch (simd_caps.hpp).
+void ntt_forward_lazy(const NttLayout& L, u64* a);
+
+/// In-place inverse NTT, bit-reversed -> natural order, including the
+/// N^{-1} scaling; result in [0, q).
+void ntt_inverse_lazy(const NttLayout& L, u64* a);
+
+// -- portable kernels (always available; the reference the AVX2 TU is
+//    tested against, and the escape-hatch path) ------------------------------
+
+void ntt_forward_lazy_portable(const NttLayout& L, u64* a);
+void ntt_inverse_lazy_portable(const NttLayout& L, u64* a);
+
+/// Runs forward stages [stage_begin, stage_end) (stage s merges blocks of
+/// size n >> s; stage 0 is the first) WITHOUT the final correction pass.
+/// After k stages every value is < 4q. Building block of the full portable
+/// kernel, exposed so tests can verify the lazy-bound invariant stage by
+/// stage.
+void ntt_forward_lazy_stages_portable(const NttLayout& L, u64* a,
+                                      int stage_begin, int stage_end);
+
+/// Inverse counterpart (stage s has butterfly gap 1 << s) without the final
+/// N^{-1} scaling; every value stays < 2q.
+void ntt_inverse_lazy_stages_portable(const NttLayout& L, u64* a,
+                                      int stage_begin, int stage_end);
+
+/// The forward correction pass: maps [0, 4q) values to [0, q).
+void reduce_from_4q_portable(u64* a, std::size_t n, u64 q);
+
+}  // namespace abc::simd

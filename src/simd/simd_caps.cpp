@@ -1,0 +1,60 @@
+#include "simd/simd_caps.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace abc::simd {
+
+bool avx2_supported() noexcept {
+// __builtin_cpu_supports is a GCC/Clang builtin; other toolchains fall
+// back to portable kernels.
+#if defined(__x86_64__) && defined(__GNUC__)
+  return avx2_compiled() && __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+
+namespace {
+
+bool force_portable_env() noexcept {
+  const char* v = std::getenv("ABC_FORCE_PORTABLE_KERNELS");
+  return v != nullptr && std::strcmp(v, "0") != 0;
+}
+
+std::atomic<KernelArch>& active_slot() noexcept {
+  static std::atomic<KernelArch> slot{detected_kernel_arch()};
+  return slot;
+}
+
+}  // namespace
+
+bool avx2_selectable() noexcept {
+  return avx2_supported() && !force_portable_env();
+}
+
+KernelArch detected_kernel_arch() noexcept {
+  return avx2_selectable() ? KernelArch::kAvx2 : KernelArch::kPortable;
+}
+
+KernelArch active_kernel_arch() noexcept {
+  return active_slot().load(std::memory_order_relaxed);
+}
+
+void set_kernel_arch_for_testing(KernelArch arch) noexcept {
+  if (arch == KernelArch::kAvx2 && !avx2_selectable()) return;
+  active_slot().store(arch, std::memory_order_relaxed);
+}
+
+const char* kernel_arch_name(KernelArch arch) noexcept {
+  switch (arch) {
+    case KernelArch::kPortable:
+      return "portable";
+    case KernelArch::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+}  // namespace abc::simd

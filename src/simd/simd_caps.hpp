@@ -1,0 +1,59 @@
+#pragma once
+
+/// @file simd_caps.hpp
+/// Runtime kernel-architecture selection for the src/simd/ kernel layer.
+///
+/// Two kernel sets exist for the client hot path (NTT butterflies and the
+/// batched dyadic ops): a portable C++ set that compiles everywhere, and an
+/// AVX2 set compiled into a separate translation unit with -mavx2 and picked
+/// at runtime via cpuid. Selection happens once per process:
+///
+///   * if the environment variable ABC_FORCE_PORTABLE_KERNELS is set to
+///     anything but "0", the portable kernels are used unconditionally
+///     (escape hatch for testing and for ruling the SIMD path out when
+///     debugging);
+///   * otherwise AVX2 kernels are used when both the build compiled them
+///     (x86-64 toolchain) and the CPU reports AVX2 support;
+///   * tests and benches may override the choice in-process through
+///     set_kernel_arch_for_testing() to exercise both paths regardless of
+///     the host environment.
+///
+/// Whatever the arch, results are bit-identical: every kernel fully reduces
+/// its outputs to the canonical [0, q) representatives, so the choice is
+/// invisible to everything above the kernel layer.
+
+namespace abc::simd {
+
+enum class KernelArch {
+  kPortable,  // plain C++ kernels, any target
+  kAvx2,      // AVX2 intrinsics, runtime-detected
+};
+
+/// True when the AVX2 kernel TU was compiled in (x86-64 build).
+bool avx2_compiled() noexcept;
+
+/// True when the running CPU supports AVX2 (false on non-x86 builds).
+bool avx2_supported() noexcept;
+
+/// True when the AVX2 kernels may actually be selected: supported by the
+/// host AND not vetoed by ABC_FORCE_PORTABLE_KERNELS. The escape hatch is
+/// absolute — it also blocks in-process overrides — so tests and benches
+/// gate their AVX2 passes on this, not on avx2_supported().
+bool avx2_selectable() noexcept;
+
+/// The arch the dispatchers currently route to. Resolved once from cpuid
+/// and ABC_FORCE_PORTABLE_KERNELS, unless overridden for testing.
+KernelArch active_kernel_arch() noexcept;
+
+/// Overrides the active arch. kAvx2 requests are ignored when AVX2 is not
+/// selectable (unavailable, or ABC_FORCE_PORTABLE_KERNELS is set), so the
+/// override can never select an illegal or vetoed path. Passing the
+/// detected default re-enables normal behavior.
+void set_kernel_arch_for_testing(KernelArch arch) noexcept;
+
+/// The arch detection would pick with no override (env var included).
+KernelArch detected_kernel_arch() noexcept;
+
+const char* kernel_arch_name(KernelArch arch) noexcept;
+
+}  // namespace abc::simd

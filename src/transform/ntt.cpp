@@ -10,13 +10,35 @@ u64 find_primitive_2n_root(const rns::Modulus& q, int log_n) {
   const u64 two_n = u64{1} << (log_n + 1);
   ABC_CHECK_ARG((q.value() - 1) % two_n == 0, "q != 1 mod 2N");
   const u64 cofactor = (q.value() - 1) / two_n;
-  // Deterministic scan over small candidates: g^cofactor has order dividing
-  // 2N; it is a primitive 2N-th root iff its N-th power is -1.
-  for (u64 g = 2; g < q.value(); ++g) {
+  // Bounded deterministic candidate search. For candidate = g^cofactor the
+  // order validation is exact and unconditional: candidate^N == -1 forces
+  // candidate^{2N} == 1 and candidate^N != 1, so ord(candidate) divides the
+  // power of two 2N but not N — i.e. ord(candidate) == 2N exactly. For
+  // prime q the test passes iff g is a quadratic non-residue (density 1/2),
+  // so the bound is never approached; it exists to fail fast on non-prime
+  // input instead of scanning to q. Perfect-square g (4, 9, 16, ...) are
+  // always residues and can never succeed, so candidates are drawn from
+  // small primes first, then odd integers.
+  constexpr u64 kSmallPrimes[] = {2,  3,  5,  7,  11, 13, 17, 19,
+                                  23, 29, 31, 37, 41, 43, 47, 53};
+  constexpr u64 kMaxCandidates = 4096;
+  u64 tried = 0;
+  auto try_generator = [&](u64 g) -> u64 {
+    ++tried;
     const u64 candidate = q.pow(g, cofactor);
     if (q.pow(candidate, two_n / 2) == q.value() - 1) return candidate;
+    return 0;
+  };
+  for (u64 g : kSmallPrimes) {
+    if (g >= q.value()) break;
+    if (const u64 r = try_generator(g)) return r;
   }
-  ABC_CHECK_STATE(false, "no primitive root found (q not prime?)");
+  for (u64 g = 55; tried < kMaxCandidates && g < q.value(); g += 2) {
+    if (const u64 r = try_generator(g)) return r;
+  }
+  ABC_CHECK_STATE(false,
+                  "no primitive 2N-th root among bounded candidates "
+                  "(q not prime?)");
   return 0;
 }
 
@@ -25,25 +47,51 @@ NttTables::NttTables(const rns::Modulus& q, int log_n)
   ABC_CHECK_ARG(log_n >= 1 && log_n <= 20, "log_n out of range");
   psi_ = find_primitive_2n_root(q, log_n);
   psi_inv_ = q_.inv(psi_);
-  psi_rev_.resize(n_);
-  inv_psi_rev_.resize(n_);
+  w_.resize(n_);
+  w_shoup_.resize(n_);
+  inv_w_.resize(n_);
+  inv_w_shoup_.resize(n_);
+  // Incremental products: psi^i and psi^{-i} cost one modular multiply per
+  // index (instead of one q.pow and one q.inv each — O(N log q)), scattered
+  // to bit-reversed positions. inv_w_[rev(i)] = (psi^i)^{-1} = psi_inv^i.
+  u64 fwd = 1;
+  u64 inv = 1;
   for (std::size_t i = 0; i < n_; ++i) {
-    const u64 exponent = bit_reverse(i, log_n_);
-    const u64 w = q_.pow(psi_, exponent);
-    psi_rev_[i] = rns::ShoupMul::make(w, q_);
-    inv_psi_rev_[i] = rns::ShoupMul::make(q_.inv(w), q_);
+    const std::size_t r = bit_reverse(i, log_n_);
+    w_[r] = fwd;
+    inv_w_[r] = inv;
+    fwd = q_.mul(fwd, psi_);
+    inv = q_.mul(inv, psi_inv_);
+  }
+  for (std::size_t i = 0; i < n_; ++i) {
+    w_shoup_[i] = rns::ShoupMul::make(w_[i], q_).quotient;
+    inv_w_shoup_[i] = rns::ShoupMul::make(inv_w_[i], q_).quotient;
   }
   n_inv_ = rns::ShoupMul::make(q_.inv(static_cast<u64>(n_ % q_.value())), q_);
 }
 
 void NttTables::forward(std::span<u64> a) const {
   ABC_CHECK_ARG(a.size() == n_, "polynomial size mismatch");
+  simd::ntt_forward_lazy(layout(), a.data());
+  op_counts().ntt_mul += (n_ / 2) * static_cast<u64>(log_n_);
+  op_counts().ntt_add += n_ * static_cast<u64>(log_n_);
+}
+
+void NttTables::inverse(std::span<u64> a) const {
+  ABC_CHECK_ARG(a.size() == n_, "polynomial size mismatch");
+  simd::ntt_inverse_lazy(layout(), a.data());
+  op_counts().ntt_mul += (n_ / 2) * static_cast<u64>(log_n_) + n_;
+  op_counts().ntt_add += n_ * static_cast<u64>(log_n_);
+}
+
+void NttTables::forward_eager(std::span<u64> a) const {
+  ABC_CHECK_ARG(a.size() == n_, "polynomial size mismatch");
   const u64 qv = q_.value();
   std::size_t t = n_;
   for (std::size_t m = 1; m < n_; m <<= 1) {
     t >>= 1;
     for (std::size_t i = 0; i < m; ++i) {
-      const rns::ShoupMul& s = psi_rev_[m + i];
+      const rns::ShoupMul s{w_[m + i], w_shoup_[m + i]};
       const std::size_t j1 = 2 * i * t;
       for (std::size_t j = j1; j < j1 + t; ++j) {
         const u64 u = a[j];
@@ -57,16 +105,16 @@ void NttTables::forward(std::span<u64> a) const {
   op_counts().ntt_add += n_ * static_cast<u64>(log_n_);
 }
 
-void NttTables::inverse(std::span<u64> a) const {
+void NttTables::inverse_eager(std::span<u64> a) const {
   ABC_CHECK_ARG(a.size() == n_, "polynomial size mismatch");
   const u64 qv = q_.value();
-  // Exact mirror of forward(): Gentleman-Sande butterflies with inverse
-  // twiddles, stages in reverse order; the per-stage 1/2 factors are folded
-  // into the final N^{-1} multiplication.
+  // Exact mirror of forward_eager(): Gentleman-Sande butterflies with
+  // inverse twiddles, stages in reverse order; the per-stage 1/2 factors
+  // are folded into the final N^{-1} multiplication.
   std::size_t t = 1;
   for (std::size_t m = n_ >> 1; m >= 1; m >>= 1) {
     for (std::size_t i = 0; i < m; ++i) {
-      const rns::ShoupMul& s = inv_psi_rev_[m + i];
+      const rns::ShoupMul s{inv_w_[m + i], inv_w_shoup_[m + i]};
       const std::size_t j1 = 2 * i * t;
       for (std::size_t j = j1; j < j1 + t; ++j) {
         const u64 x = a[j];

@@ -14,11 +14,20 @@
 ///    natural-order output, scaled by N^{-1}.
 /// Point-wise products of two forward-transformed polynomials followed by
 /// inverse() realize negacyclic convolution.
+///
+/// Execution: forward()/inverse() run the Harvey lazy-reduction kernels
+/// from src/simd/ (AVX2 or portable, runtime-dispatched; see
+/// simd/ntt_kernels.hpp). The seed's eager-reduction butterflies are kept
+/// as forward_eager()/inverse_eager() — the bit-exact reference the lazy
+/// kernels are tested and benchmarked against. Twiddles are stored as flat
+/// Shoup-pair arrays (value and quotient in separate parallel vectors) so
+/// the butterfly inner loops stream both sequentially.
 
 #include <span>
 #include <vector>
 
 #include "rns/modulus.hpp"
+#include "simd/ntt_kernels.hpp"
 
 namespace abc::xf {
 
@@ -35,16 +44,29 @@ class NttTables {
   u64 psi_inv() const noexcept { return psi_inv_; }
   u64 n_inv() const noexcept { return n_inv_.operand; }
 
-  /// In-place forward NTT (natural -> bit-reversed).
+  /// In-place forward NTT (natural -> bit-reversed), result in [0, q).
   void forward(std::span<u64> a) const;
 
   /// In-place inverse NTT (bit-reversed -> natural), including the N^{-1}
-  /// scaling.
+  /// scaling; result in [0, q).
   void inverse(std::span<u64> a) const;
+
+  /// Seed eager-reduction reference kernels: one canonical reduction per
+  /// butterfly. Bit-identical outputs to forward()/inverse(); kept for
+  /// parity tests and old-vs-new benchmarking.
+  void forward_eager(std::span<u64> a) const;
+  void inverse_eager(std::span<u64> a) const;
 
   /// Stage-twiddle access for the on-the-fly generator model:
   /// psi_rev(i) = psi^{bit_reverse(i, log_n)}.
-  u64 psi_rev(std::size_t i) const { return psi_rev_.at(i).operand; }
+  u64 psi_rev(std::size_t i) const { return w_.at(i); }
+
+  /// Non-owning kernel view of the tables (simd/ntt_kernels.hpp).
+  simd::NttLayout layout() const noexcept {
+    return {w_.data(),     w_shoup_.data(),  inv_w_.data(),
+            inv_w_shoup_.data(), q_.value(), n_inv_.operand,
+            n_inv_.quotient,     n_,         log_n_};
+  }
 
  private:
   rns::Modulus q_;
@@ -52,12 +74,18 @@ class NttTables {
   std::size_t n_;
   u64 psi_ = 0;
   u64 psi_inv_ = 0;
-  std::vector<rns::ShoupMul> psi_rev_;      // forward stage twiddles
-  std::vector<rns::ShoupMul> inv_psi_rev_;  // inverses of psi_rev_
+  // Flat Shoup-pair twiddle arrays, bit-reversed index order: w_[i] =
+  // psi^bit_reverse(i, log_n), w_shoup_[i] = floor(w_[i] * 2^64 / q);
+  // inv_* hold the inverse twiddles (powers of psi^{-1}).
+  std::vector<u64> w_;
+  std::vector<u64> w_shoup_;
+  std::vector<u64> inv_w_;
+  std::vector<u64> inv_w_shoup_;
   rns::ShoupMul n_inv_;
 };
 
-/// Finds a primitive 2N-th root of unity modulo q (q == 1 mod 2N).
+/// Finds a primitive 2N-th root of unity modulo q (q == 1 mod 2N) by a
+/// bounded deterministic candidate search; throws if q is not an NTT prime.
 u64 find_primitive_2n_root(const rns::Modulus& q, int log_n);
 
 /// Reference negacyclic product c = a * b mod (X^N + 1, q), O(N^2)

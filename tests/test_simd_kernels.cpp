@@ -1,0 +1,302 @@
+// Tests for the src/simd/ kernel layer: bit-exact parity of the Harvey
+// lazy-reduction NTT against the seed eager kernels across sparse-prime bit
+// widths, SIMD vs. portable dyadic parity, randomized negacyclic
+// cross-checks against the schoolbook reference, and the lazy-bound
+// invariants (< 4q forward / < 2q inverse) the kernels rely on.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include "rns/ntt_prime.hpp"
+#include "simd/dyadic_kernels.hpp"
+#include "simd/ntt_kernels.hpp"
+#include "simd/simd_caps.hpp"
+#include "transform/ntt.hpp"
+
+namespace abc {
+namespace {
+
+/// Restores the detected kernel arch when a test that forces one exits.
+struct ArchGuard {
+  ~ArchGuard() {
+    simd::set_kernel_arch_for_testing(simd::detected_kernel_arch());
+  }
+};
+
+std::vector<u64> random_poly(std::size_t n, u64 q, u64 seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<u64> a(n);
+  for (u64& v : a) v = rng() % q;
+  return a;
+}
+
+/// All kernel arches exercisable in this process (portable always; AVX2
+/// when the build and CPU support it AND ABC_FORCE_PORTABLE_KERNELS does
+/// not veto it — the escape hatch blocks in-process overrides too).
+std::vector<simd::KernelArch> available_arches() {
+  std::vector<simd::KernelArch> arches = {simd::KernelArch::kPortable};
+  if (simd::avx2_selectable()) arches.push_back(simd::KernelArch::kAvx2);
+  return arches;
+}
+
+TEST(SimdCaps, ForcingUnselectableArchIsIgnored) {
+  ArchGuard guard;
+  simd::set_kernel_arch_for_testing(simd::KernelArch::kPortable);
+  EXPECT_EQ(simd::active_kernel_arch(), simd::KernelArch::kPortable);
+  simd::set_kernel_arch_for_testing(simd::KernelArch::kAvx2);
+  if (simd::avx2_selectable()) {
+    EXPECT_EQ(simd::active_kernel_arch(), simd::KernelArch::kAvx2);
+  } else {
+    // Unsupported host or ABC_FORCE_PORTABLE_KERNELS veto.
+    EXPECT_EQ(simd::active_kernel_arch(), simd::KernelArch::kPortable);
+  }
+}
+
+TEST(SimdCaps, ArchNamesAreStable) {
+  EXPECT_STREQ(simd::kernel_arch_name(simd::KernelArch::kPortable),
+               "portable");
+  EXPECT_STREQ(simd::kernel_arch_name(simd::KernelArch::kAvx2), "avx2");
+}
+
+// -- NTT parity --------------------------------------------------------------
+
+TEST(LazyNtt, MatchesEagerAcrossSparsePrimeBitWidths) {
+  ArchGuard guard;
+  const int log_n = 10;
+  for (int bits = 32; bits <= 36; ++bits) {
+    const rns::Modulus q(rns::select_prime_chain(bits, log_n, 1)[0]);
+    ASSERT_EQ(q.bit_count(), bits);
+    const xf::NttTables tables(q, log_n);
+    for (simd::KernelArch arch : available_arches()) {
+      simd::set_kernel_arch_for_testing(arch);
+      std::vector<u64> eager = random_poly(tables.n(), q.value(), bits);
+      std::vector<u64> lazy = eager;
+      tables.forward_eager(eager);
+      tables.forward(lazy);
+      EXPECT_EQ(eager, lazy) << "forward, bits=" << bits << " arch="
+                             << simd::kernel_arch_name(arch);
+      tables.inverse_eager(eager);
+      tables.inverse(lazy);
+      EXPECT_EQ(eager, lazy) << "inverse, bits=" << bits << " arch="
+                             << simd::kernel_arch_name(arch);
+    }
+  }
+}
+
+TEST(LazyNtt, MatchesEagerAtLargeDegreeAndWideModulus) {
+  ArchGuard guard;
+  // A wide (59-bit) generic NTT prime stresses the 4q < 2^64 headroom.
+  for (int bits : {45, 59}) {
+    const int log_n = 13;
+    const rns::Modulus q(rns::select_prime_chain(bits, log_n, 1)[0]);
+    const xf::NttTables tables(q, log_n);
+    for (simd::KernelArch arch : available_arches()) {
+      simd::set_kernel_arch_for_testing(arch);
+      std::vector<u64> eager = random_poly(tables.n(), q.value(), 77);
+      std::vector<u64> lazy = eager;
+      tables.forward_eager(eager);
+      tables.forward(lazy);
+      EXPECT_EQ(eager, lazy) << "bits=" << bits;
+      tables.inverse_eager(eager);
+      tables.inverse(lazy);
+      EXPECT_EQ(eager, lazy) << "bits=" << bits;
+    }
+  }
+}
+
+TEST(LazyNtt, TinyDegreesRoundtrip) {
+  ArchGuard guard;
+  // log_n in {1, 2, 3} exercises the scalar-tail stages of the AVX2 path
+  // (every stage has t < 4).
+  for (int log_n : {1, 2, 3}) {
+    const rns::Modulus q(rns::select_prime_chain(36, 5, 1)[0]);
+    const xf::NttTables tables(q, log_n);
+    for (simd::KernelArch arch : available_arches()) {
+      simd::set_kernel_arch_for_testing(arch);
+      std::vector<u64> a = random_poly(tables.n(), q.value(), 5);
+      const std::vector<u64> original = a;
+      tables.forward(a);
+      tables.inverse(a);
+      EXPECT_EQ(a, original) << "log_n=" << log_n;
+    }
+  }
+}
+
+TEST(LazyNtt, NegacyclicConvolutionMatchesSchoolbook) {
+  ArchGuard guard;
+  for (int log_n : {3, 6, 8}) {
+    const rns::Modulus q(rns::select_prime_chain(36, log_n, 1)[0]);
+    const xf::NttTables tables(q, log_n);
+    std::mt19937_64 rng(100 + log_n);
+    for (int trial = 0; trial < 4; ++trial) {
+      const std::vector<u64> a = random_poly(tables.n(), q.value(), rng());
+      const std::vector<u64> b = random_poly(tables.n(), q.value(), rng());
+      const std::vector<u64> expected =
+          xf::negacyclic_mult_schoolbook(a, b, q);
+      for (simd::KernelArch arch : available_arches()) {
+        simd::set_kernel_arch_for_testing(arch);
+        std::vector<u64> fa = a;
+        std::vector<u64> fb = b;
+        tables.forward(fa);
+        tables.forward(fb);
+        std::vector<u64> c(tables.n());
+        const simd::DyadicModulus dm = simd::DyadicModulus::make(q);
+        for (std::size_t i = 0; i < c.size(); ++i)
+          c[i] = dm.mul(fa[i], fb[i]);
+        tables.inverse(c);
+        EXPECT_EQ(c, expected)
+            << "log_n=" << log_n << " trial=" << trial
+            << " arch=" << simd::kernel_arch_name(arch);
+      }
+    }
+  }
+}
+
+// -- lazy-bound invariants ---------------------------------------------------
+
+TEST(LazyNtt, ForwardIntermediatesStayBelow4q) {
+  const int log_n = 9;
+  const rns::Modulus q(rns::select_prime_chain(36, log_n, 1)[0]);
+  const xf::NttTables tables(q, log_n);
+  const simd::NttLayout L = tables.layout();
+  std::vector<u64> a = random_poly(tables.n(), q.value(), 31);
+  for (int stage = 0; stage < log_n; ++stage) {
+    simd::ntt_forward_lazy_stages_portable(L, a.data(), stage, stage + 1);
+    const u64 max_v = *std::max_element(a.begin(), a.end());
+    EXPECT_LT(max_v, 4 * q.value()) << "after stage " << stage;
+  }
+  // The correction pass lands every value in [0, q) and matches eager.
+  simd::reduce_from_4q_portable(a.data(), a.size(), q.value());
+  std::vector<u64> eager = random_poly(tables.n(), q.value(), 31);
+  tables.forward_eager(eager);
+  EXPECT_EQ(a, eager);
+}
+
+TEST(LazyNtt, InverseIntermediatesStayBelow2q) {
+  const int log_n = 9;
+  const rns::Modulus q(rns::select_prime_chain(36, log_n, 1)[0]);
+  const xf::NttTables tables(q, log_n);
+  const simd::NttLayout L = tables.layout();
+  std::vector<u64> a = random_poly(tables.n(), q.value(), 32);
+  for (int stage = 0; stage < log_n; ++stage) {
+    simd::ntt_inverse_lazy_stages_portable(L, a.data(), stage, stage + 1);
+    const u64 max_v = *std::max_element(a.begin(), a.end());
+    EXPECT_LT(max_v, 2 * q.value()) << "after stage " << stage;
+  }
+}
+
+TEST(LazyNtt, ShoupMulLazyStaysBelow2q) {
+  const rns::Modulus q(rns::select_prime_chain(36, 10, 1)[0]);
+  std::mt19937_64 rng(33);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const u64 w = rng() % q.value();
+    const rns::ShoupMul s = rns::ShoupMul::make(w, q);
+    const u64 x = rng();  // ANY 64-bit input is in-contract
+    const u64 lazy = s.mul_lazy(x, q.value());
+    EXPECT_LT(lazy, 2 * q.value());
+    EXPECT_EQ(lazy % q.value(), q.mul(q.reduce(x), w));
+    EXPECT_EQ(s.mul(x, q.value()), lazy >= q.value() ? lazy - q.value()
+                                                     : lazy);
+  }
+}
+
+// -- dyadic kernels ----------------------------------------------------------
+
+class DyadicKernelTest : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kN = 1000;  // odd tail exercises remainders
+};
+
+TEST_F(DyadicKernelTest, AllOpsMatchModulusReferenceOnAllArches) {
+  ArchGuard guard;
+  for (int bits : {32, 36, 45, 59}) {
+    const rns::Modulus q(rns::select_prime_chain(bits, 10, 1)[0]);
+    const simd::DyadicModulus dm = simd::DyadicModulus::make(q);
+    const std::vector<u64> a = random_poly(kN, q.value(), 1);
+    const std::vector<u64> b = random_poly(kN, q.value(), 2);
+    const rns::ShoupMul s = rns::ShoupMul::make(q.reduce(987654321), q);
+
+    // Seed-semantics references.
+    std::vector<u64> ref_add(kN), ref_sub(kN), ref_mul(kN), ref_fma(kN),
+        ref_neg(kN), ref_muls(kN);
+    for (std::size_t j = 0; j < kN; ++j) {
+      ref_add[j] = q.add(a[j], b[j]);
+      ref_sub[j] = q.sub(a[j], b[j]);
+      ref_mul[j] = q.mul(a[j], b[j]);
+      ref_fma[j] = q.add(a[j], q.mul(a[j], b[j]));
+      ref_neg[j] = q.negate(a[j]);
+      ref_muls[j] = q.mul(a[j], s.operand);
+    }
+
+    for (simd::KernelArch arch : available_arches()) {
+      simd::set_kernel_arch_for_testing(arch);
+      const char* an = simd::kernel_arch_name(arch);
+      std::vector<u64> d = a;
+      simd::dyadic_add(dm, d.data(), b.data(), kN);
+      EXPECT_EQ(d, ref_add) << "add " << an << " bits=" << bits;
+      d = a;
+      simd::dyadic_sub(dm, d.data(), b.data(), kN);
+      EXPECT_EQ(d, ref_sub) << "sub " << an << " bits=" << bits;
+      d = a;
+      simd::dyadic_mul(dm, d.data(), b.data(), kN);
+      EXPECT_EQ(d, ref_mul) << "mul " << an << " bits=" << bits;
+      d = a;
+      simd::dyadic_fma(dm, d.data(), a.data(), b.data(), kN);
+      EXPECT_EQ(d, ref_fma) << "fma " << an << " bits=" << bits;
+      d = a;
+      simd::dyadic_negate(dm, d.data(), kN);
+      EXPECT_EQ(d, ref_neg) << "negate " << an << " bits=" << bits;
+      d = a;
+      simd::dyadic_mul_scalar(dm, d.data(), kN, s.operand, s.quotient);
+      EXPECT_EQ(d, ref_muls) << "mul_scalar " << an << " bits=" << bits;
+    }
+  }
+}
+
+TEST_F(DyadicKernelTest, BarrettMulHandlesExtremes) {
+  for (int bits : {32, 36, 59}) {
+    const rns::Modulus q(rns::select_prime_chain(bits, 10, 1)[0]);
+    const simd::DyadicModulus dm = simd::DyadicModulus::make(q);
+    const u64 top = q.value() - 1;
+    const u64 cases[][2] = {{0, 0},     {0, top},     {top, 0},
+                            {1, top},   {top, top},   {top / 2, top},
+                            {top, 2},   {1, 1},       {top / 3, top / 7}};
+    for (const auto& c : cases) {
+      EXPECT_EQ(dm.mul(c[0], c[1]), q.mul(c[0], c[1]))
+          << c[0] << " * " << c[1] << " bits=" << bits;
+    }
+  }
+}
+
+TEST_F(DyadicKernelTest, RejectsPowerOfTwoModulus) {
+  EXPECT_THROW(simd::DyadicModulus::make(rns::Modulus(64)), InvalidArgument);
+}
+
+// -- bounded primitive-root search -------------------------------------------
+
+TEST(PrimitiveRootSearch, BoundedSearchFailsFastOnNonPrime) {
+  // 3 * 11 == 33 == 1 (mod 8): passes the congruence precondition but the
+  // unit group has order 20, so no element of order 8 exists. The bounded
+  // search must throw instead of scanning toward q.
+  EXPECT_THROW(xf::find_primitive_2n_root(rns::Modulus(33), 2), LogicError);
+}
+
+TEST(PrimitiveRootSearch, ValidatesExactOrder) {
+  for (int log_n : {4, 8, 12}) {
+    const rns::Modulus q(rns::select_prime_chain(36, log_n, 1)[0]);
+    const u64 psi = xf::find_primitive_2n_root(q, log_n);
+    const u64 two_n = u64{1} << (log_n + 1);
+    EXPECT_EQ(q.pow(psi, two_n / 2), q.value() - 1);  // psi^N == -1
+    EXPECT_EQ(q.pow(psi, two_n), 1u);                 // psi^{2N} == 1
+    // Exact order: no proper power-of-two divisor of 2N reaches 1.
+    for (u64 k = 2; k < two_n; k <<= 1) {
+      EXPECT_NE(q.pow(psi, k), 1u) << "k=" << k;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace abc
