@@ -1,0 +1,161 @@
+// Client key-generation throughput: wall time of the full on-device key
+// set (secret + public + relinearization + Galois keys) under the
+// ScalarBackend vs. the ThreadPoolBackend at increasing worker counts,
+// plus the wire sizes a client uploads in seed-compressed vs. full form.
+//
+// This is the second half of the paper's client workload (Sec. IV,
+// Fig. 5a): encode+encrypt is batched traffic, but a session starts with
+// keygen — and at bootstrappable parameters the switching-key material
+// dominates upload bytes (the BTS/ARK memory-traffic story), which is why
+// shipping only the b halves + stream ids matters.
+//
+// Usage: bench_keygen_throughput [log_n] [limbs] [rotations]
+//                                [--json out.json] [--reps N] [--quick]
+//   defaults: log_n=13, limbs=8, rotations=4 (keeps the run in seconds;
+//   pass 16 24 for the paper's bootstrappable point). --quick drops to
+//   minimal reps for the CI smoke; --json emits the bench_util.hpp schema.
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "backend/scalar_backend.hpp"
+#include "backend/thread_pool_backend.hpp"
+#include "bench_util.hpp"
+#include "ckks/serialize.hpp"
+#include "common/table.hpp"
+#include "engine/batch_keygen.hpp"
+
+namespace {
+
+using namespace abc;
+
+struct KeygenTimes {
+  double secret_public_s = 0.0;
+  double relin_s = 0.0;
+  double galois_s = 0.0;  // all rotation steps together
+};
+
+KeygenTimes measure(const ckks::CkksParams& params,
+                    std::shared_ptr<backend::PolyBackend> backend,
+                    const std::vector<int>& steps, int reps) {
+  auto ctx = ckks::CkksContext::create(params, std::move(backend));
+  KeygenTimes t;
+  t.secret_public_s = bench::time_best_of(reps, [&] {
+    ckks::KeyGenerator keygen(ctx);
+    const ckks::SecretKey sk = keygen.secret_key();
+    (void)keygen.public_key(sk);
+  });
+  ckks::KeyGenerator keygen(ctx);
+  const ckks::SecretKey sk = keygen.secret_key();
+  engine::BatchKeyGenerator eng(ctx, sk);
+  t.relin_s = bench::time_best_of(reps, [&] { (void)eng.relin_key(); });
+  t.galois_s = bench::time_best_of(reps, [&] { (void)eng.galois_keys(steps); });
+  return t;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
+  auto positional = [&](std::size_t i, int def) {
+    return i < args.positional.size() ? std::atoi(args.positional[i].c_str())
+                                      : def;
+  };
+  const int log_n = positional(0, 13);
+  const auto limbs = static_cast<std::size_t>(positional(1, 8));
+  const int rotations = positional(2, 4);
+  const int reps = args.reps > 0 ? args.reps : (args.quick ? 1 : 3);
+
+  std::vector<int> steps(static_cast<std::size_t>(rotations));
+  for (int i = 0; i < rotations; ++i) steps[static_cast<std::size_t>(i)] = 1 << i;
+
+  std::puts("ABC-FHE reproduction :: client key-generation throughput\n");
+  std::printf("Workload: N = 2^%d, %zu limbs; secret + public + relin (%zu "
+              "digits) + %d Galois keys.\n\n",
+              log_n, limbs, limbs, rotations);
+
+  ckks::CkksParams params = ckks::CkksParams::sweep_point(log_n, limbs);
+  params.validate();
+
+  bench::JsonReporter rep("bench_keygen_throughput");
+  rep.add_metric("meta/log_n", "value", log_n);
+  rep.add_metric("meta/limbs", "value", static_cast<double>(limbs));
+  rep.add_metric("meta/rotations", "value", rotations);
+
+  TextTable table("Key-generation wall time (full client key set)");
+  table.set_header({"Backend", "Workers", "sk+pk", "relin", "galois x" +
+                    std::to_string(rotations), "total", "speed-up"});
+
+  const KeygenTimes scalar = measure(
+      params, std::make_shared<backend::ScalarBackend>(), steps, reps);
+  const double scalar_total =
+      scalar.secret_public_s + scalar.relin_s + scalar.galois_s;
+  rep.add_timing("keygen/scalar/secret_public", scalar.secret_public_s);
+  rep.add_timing("keygen/scalar/relin", scalar.relin_s);
+  rep.add_timing("keygen/scalar/galois", scalar.galois_s,
+                 static_cast<double>(rotations));
+  table.add_row({"scalar", "1", bench::fmt_time(scalar.secret_public_s),
+                 bench::fmt_time(scalar.relin_s),
+                 bench::fmt_time(scalar.galois_s),
+                 bench::fmt_time(scalar_total), "1.00x"});
+
+  for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+    const KeygenTimes t = measure(
+        params, std::make_shared<backend::ThreadPoolBackend>(threads), steps,
+        reps);
+    const double total = t.secret_public_s + t.relin_s + t.galois_s;
+    const std::string prefix =
+        "keygen/thread_pool/" + std::to_string(threads);
+    rep.add_timing(prefix + "/secret_public", t.secret_public_s);
+    rep.add_timing(prefix + "/relin", t.relin_s);
+    rep.add_timing(prefix + "/galois", t.galois_s,
+                   static_cast<double>(rotations));
+    rep.add_metric(prefix + "/total", "seconds", total);
+    table.add_row({"thread_pool", std::to_string(threads),
+                   bench::fmt_time(t.secret_public_s),
+                   bench::fmt_time(t.relin_s), bench::fmt_time(t.galois_s),
+                   bench::fmt_time(total),
+                   TextTable::fmt(scalar_total / total, 2) + "x"});
+  }
+  table.print();
+
+  // Wire sizes: what the client uploads, seed-compressed vs. full.
+  auto ctx = ckks::CkksContext::create(params);
+  ckks::KeyGenerator keygen(ctx);
+  const ckks::SecretKey sk = keygen.secret_key();
+  const ckks::PublicKey pk = keygen.public_key(sk);
+  const ckks::RelinKey rlk = keygen.relin_key(sk);
+  const ckks::KeySizeReport pk_sizes = public_key_sizes(pk, 44);
+  const ckks::KeySizeReport rlk_sizes = key_switch_key_sizes(rlk.key, 44);
+  const double gal_compressed =
+      static_cast<double>(rlk_sizes.compressed_bytes) * rotations;
+  const double gal_full = static_cast<double>(rlk_sizes.full_bytes) * rotations;
+
+  TextTable sizes("Key upload sizes at 44-bit packing (seed-compressed vs full)");
+  sizes.set_header({"Key", "compressed", "full", "saved"});
+  auto mb = [](double b) { return TextTable::fmt(b / 1e6, 2) + " MB"; };
+  sizes.add_row({"public", mb(static_cast<double>(pk_sizes.compressed_bytes)),
+                 mb(static_cast<double>(pk_sizes.full_bytes)),
+                 TextTable::fmt(pk_sizes.ratio(), 2) + "x"});
+  sizes.add_row({"relin", mb(static_cast<double>(rlk_sizes.compressed_bytes)),
+                 mb(static_cast<double>(rlk_sizes.full_bytes)),
+                 TextTable::fmt(rlk_sizes.ratio(), 2) + "x"});
+  sizes.add_row({"galois x" + std::to_string(rotations), mb(gal_compressed),
+                 mb(gal_full), TextTable::fmt(rlk_sizes.ratio(), 2) + "x"});
+  sizes.print();
+  rep.add_metric("sizes/relin_compressed", "bytes",
+                 static_cast<double>(rlk_sizes.compressed_bytes));
+  rep.add_metric("sizes/relin_full", "bytes",
+                 static_cast<double>(rlk_sizes.full_bytes));
+  rep.add_metric("sizes/public_compressed", "bytes",
+                 static_cast<double>(pk_sizes.compressed_bytes));
+
+  if (!args.json_path.empty()) {
+    if (!rep.write(args.json_path)) return 1;
+    std::printf("\nJSON results written to %s\n", args.json_path.c_str());
+  }
+  return 0;
+}

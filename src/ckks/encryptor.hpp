@@ -17,6 +17,21 @@
 /// randomness is fully determined by its stream id, and the two modes draw
 /// errors from disjoint PRNG domains — so any number of threads encrypting
 /// through encrypt_with() produce independent, reproducible ciphertexts.
+/// Stream ids are additionally salted with the key's secret id (upper 32
+/// bits, mirroring ksk_base_stream_id): counters are per-instance, so two
+/// encryptors for *different* secrets both start at 0 — an unsalted
+/// shared stream would give their first ciphertexts identical (a, e)
+/// material, letting c0 differences cancel the errors and leak a linear
+/// relation in the secrets.
+///
+/// What the salt does NOT cover: two instances for the *same* secret (a
+/// process restart, a second component) both count from 0 and therefore
+/// replay the same streams — encrypting *different* messages under a
+/// replayed stream leaks the plaintext difference. The whole stack is
+/// deliberately deterministic from the 128-bit seed (the paper's on-chip
+/// PRNG model), so stream-id uniqueness across instance lifetimes is the
+/// caller's responsibility: persist the counter, or dedicate a disjoint
+/// secret (and thereby salt) per component.
 /// encrypt() itself reuses an internal scratch buffer and is therefore not
 /// reentrant; parallel callers use one EncryptScratch per worker (see
 /// engine/batch_encryptor.hpp).
@@ -76,7 +91,8 @@ class Encryptor {
     return counter_.fetch_add(count, std::memory_order_relaxed);
   }
 
-  /// Deterministic encryption under an explicit stream id with external
+  /// Deterministic encryption under an explicit stream id (a counter
+  /// value < 2^31; the secret salt is folded in internally) with external
   /// scratch. Thread-safe: may run concurrently with any other
   /// encrypt_with() call as long as each thread owns its scratch.
   Ciphertext encrypt_with(const Plaintext& pt, u64 stream_id,
@@ -88,10 +104,14 @@ class Encryptor {
   Ciphertext encrypt_symmetric(const Plaintext& pt, u64 id,
                                EncryptScratch& scratch) const;
 
+  /// Counter id -> wire stream id with the secret salt in the upper bits.
+  u64 salted(u64 id) const noexcept { return (secret_salt_ << 32) | id; }
+
   std::shared_ptr<const CkksContext> ctx_;
   EncryptMode mode_;
   std::unique_ptr<PublicKey> pk_;
   std::unique_ptr<poly::RnsPoly> sk_eval_;
+  u64 secret_salt_ = 0;  // SecretKey::stream_id (or the pk's embedded id)
   EncryptScratch scratch_;
   std::atomic<u64> counter_{0};
 };

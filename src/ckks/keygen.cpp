@@ -47,20 +47,97 @@ void fill_gaussian_coeff(const CkksContext& ctx, poly::RnsPoly& dst,
   dst.set_from_signed_i32(s.wide);
 }
 
+u32 galois_element(int step, std::size_t n) {
+  const std::size_t two_n = 2 * n;
+  const auto slots = static_cast<long long>(n / 2);
+  const long long r = ((step % slots) + slots) % slots;
+  ABC_CHECK_ARG(r != 0, "rotation step must be nonzero mod slots");
+  // 5^r mod 2N by square-and-multiply (2N <= 2^17, products fit u64).
+  u64 g = 1, base = 5 % two_n;
+  for (u64 e = static_cast<u64>(r); e != 0; e >>= 1) {
+    if (e & 1) g = g * base % two_n;
+    base = base * base % two_n;
+  }
+  return static_cast<u32>(g);
+}
+
+PrngDomain ksk_a_domain(KeySwitchKey::Kind kind) {
+  return kind == KeySwitchKey::Kind::kRelin ? PrngDomain::kRelinA
+                                            : PrngDomain::kGaloisA;
+}
+
+PrngDomain ksk_error_domain(KeySwitchKey::Kind kind) {
+  return kind == KeySwitchKey::Kind::kRelin ? PrngDomain::kRelinError
+                                            : PrngDomain::kGaloisError;
+}
+
+u32 ksk_stream_domain(PrngDomain base, u32 galois_elt) {
+  // Domain tags occupy the low byte (values 1..11); the element (< 2^17
+  // for N <= 2^16) fits the remaining 24 bits of the ChaCha domain word.
+  return static_cast<u32>(base) | (galois_elt << 8);
+}
+
+const KeySwitchKey& GaloisKeys::key_for(int step) const {
+  const auto reduce = [this](int s) {
+    if (slots == 0) return static_cast<long long>(s);
+    const auto m = static_cast<long long>(slots);
+    return ((s % m) + m) % m;
+  };
+  const long long want = reduce(step);
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    if (reduce(steps[i]) == want) return keys.at(i);
+  }
+  throw InvalidArgument("no Galois key generated for this step");
+}
+
+void generate_ksk_digit(const CkksContext& ctx,
+                        const poly::RnsPoly& s_neg_eval,
+                        const poly::RnsPoly& s_prime_eval,
+                        KeySwitchKey::Kind kind, u32 galois_elt,
+                        u64 stream_id, std::size_t digit,
+                        poly::RnsPoly& b_out, poly::RnsPoly& a_out,
+                        SamplerScratch* scratch) {
+  const std::size_t limbs = ctx.max_limbs();
+  ABC_CHECK_ARG(digit < limbs, "gadget digit out of range");
+  const auto a_domain = static_cast<PrngDomain>(
+      ksk_stream_domain(ksk_a_domain(kind), galois_elt));
+  const auto error_domain = static_cast<PrngDomain>(
+      ksk_stream_domain(ksk_error_domain(kind), galois_elt));
+
+  a_out.reset(limbs, poly::Domain::kEval);
+  fill_uniform_eval(ctx, a_out, a_domain, stream_id);
+
+  // b starts as the error, transformed to the evaluation domain.
+  b_out.reset(limbs, poly::Domain::kCoeff);
+  fill_gaussian_coeff(ctx, b_out, error_domain, stream_id, scratch);
+  b_out.to_eval();
+
+  // b = e + a*(-s), one fused pass with no product buffer.
+  b_out.fma_inplace(a_out, s_neg_eval);
+
+  // + g_d * s': the CRT idempotent is 1 mod q_d and 0 elsewhere, so the
+  // gadget term only touches limb `digit`.
+  const rns::Modulus& q = ctx.poly_context()->modulus(digit);
+  const std::span<u64> bd = b_out.limb(digit);
+  const std::span<const u64> sp = s_prime_eval.limb(digit);
+  for (std::size_t j = 0; j < bd.size(); ++j) bd[j] = q.add(bd[j], sp[j]);
+}
+
 KeyGenerator::KeyGenerator(std::shared_ptr<const CkksContext> ctx)
     : ctx_(std::move(ctx)) {
   ABC_CHECK_ARG(ctx_ != nullptr, "null context");
 }
 
 SecretKey KeyGenerator::secret_key() {
+  const u64 id = sk_counter_++;
   poly::RnsPoly s = ctx_->make_poly(ctx_->max_limbs(), poly::Domain::kCoeff);
-  fill_ternary_coeff(*ctx_, s, PrngDomain::kSecretKey, sk_counter_++);
+  fill_ternary_coeff(*ctx_, s, PrngDomain::kSecretKey, id);
   s.to_eval();
-  return SecretKey{std::move(s)};
+  return SecretKey{std::move(s), id};
 }
 
 PublicKey KeyGenerator::public_key(const SecretKey& sk) {
-  const u64 id = pk_counter_++;
+  const u64 id = ksk_base_stream_id(sk.stream_id, pk_counter_++);
   poly::RnsPoly a = ctx_->make_poly(ctx_->max_limbs(), poly::Domain::kEval);
   fill_uniform_eval(*ctx_, a, PrngDomain::kPublicA, id);
 
@@ -72,7 +149,69 @@ PublicKey KeyGenerator::public_key(const SecretKey& sk) {
   b.mul_inplace(sk.s);           // a * s
   b.negate_inplace();            // -(a * s)
   b.add_inplace(e);              // + e
-  return PublicKey{std::move(b), std::move(a)};
+  return PublicKey{std::move(b), std::move(a), id};
+}
+
+KeySwitchKey KeyGenerator::make_ksk(KeySwitchKey::Kind kind, u32 galois_elt,
+                                    const SecretKey& sk,
+                                    const poly::RnsPoly& s_prime_eval) {
+  const std::size_t digits = ctx_->max_limbs();
+  KeySwitchKey key;
+  key.kind = kind;
+  key.galois_elt = galois_elt;
+  key.base_stream_id = ksk_base_stream_id(sk.stream_id, ksk_counter_);
+  ksk_counter_ += digits;
+  key.b.reserve(digits);
+  key.a.reserve(digits);
+  poly::RnsPoly s_neg = sk.s;  // one negation per key, shared by digits
+  s_neg.negate_inplace();
+  SamplerScratch scratch;
+  for (std::size_t d = 0; d < digits; ++d) {
+    key.b.push_back(ctx_->make_poly(digits, poly::Domain::kEval));
+    key.a.push_back(ctx_->make_poly(digits, poly::Domain::kEval));
+    generate_ksk_digit(*ctx_, s_neg, s_prime_eval, kind, galois_elt,
+                       key.base_stream_id + d, d, key.b[d], key.a[d],
+                       &scratch);
+  }
+  return key;
+}
+
+RelinKey KeyGenerator::relin_key(const SecretKey& sk) {
+  poly::RnsPoly s2 = sk.s;
+  s2.mul_inplace(sk.s);
+  return RelinKey{make_ksk(KeySwitchKey::Kind::kRelin, 0, sk, s2)};
+}
+
+KeySwitchKey KeyGenerator::galois_key_from_coeff(const SecretKey& sk,
+                                                 const poly::RnsPoly& s_coeff,
+                                                 u32 elt) {
+  poly::RnsPoly s_rot = s_coeff.automorphism(elt);
+  s_rot.to_eval();
+  return make_ksk(KeySwitchKey::Kind::kGalois, elt, sk, s_rot);
+}
+
+KeySwitchKey KeyGenerator::galois_key(const SecretKey& sk, int step) {
+  poly::RnsPoly s_coeff = sk.s;
+  s_coeff.to_coeff();
+  return galois_key_from_coeff(sk, s_coeff,
+                               galois_element(step, ctx_->n()));
+}
+
+GaloisKeys KeyGenerator::galois_keys(const SecretKey& sk,
+                                     std::span<const int> steps) {
+  GaloisKeys out;
+  out.slots = ctx_->slots();
+  out.steps.assign(steps.begin(), steps.end());
+  out.keys.reserve(steps.size());
+  // One INTT of the secret for the whole set; each step only pays its
+  // automorphism + forward NTT.
+  poly::RnsPoly s_coeff = sk.s;
+  s_coeff.to_coeff();
+  for (int step : steps) {
+    out.keys.push_back(
+        galois_key_from_coeff(sk, s_coeff, galois_element(step, ctx_->n())));
+  }
+  return out;
 }
 
 }  // namespace abc::ckks

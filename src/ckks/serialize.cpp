@@ -9,13 +9,111 @@
 namespace abc::ckks {
 namespace {
 
-constexpr u32 kMagic = 0x41424346;  // "ABCF"
+constexpr u32 kMagic = 0x41424346;     // "ABCF": ciphertexts
+constexpr u32 kKeyMagic = 0x4142434b;  // "ABCK": key material
+
+// Key headers are fixed-width: magic(32) bits(8) kind(8) compressed(8)
+// limbs(16) log_n(8) galois_elt(32) stream_id(32+32) checksum(32)
+// = 208 bits. The checksum covers every header field after the magic:
+// compressed keys regenerate their uniform halves from the header's
+// stream metadata, so a corrupted stream id or Galois element would
+// otherwise silently restore *different* key material. (Payload bits are
+// only guarded probabilistically by the residue range checks, the same
+// contract as ciphertexts — transport-level integrity is the carrier's
+// job.)
+constexpr std::size_t kKeyHeaderBits = 208;
+
+enum class KeyKind : u8 { kRelin = 0, kGalois = 1, kPublic = 2 };
+
+u32 key_header_checksum(int bits_per_coeff, KeyKind kind, bool compressed,
+                        std::size_t limbs, int log_n, u32 galois_elt,
+                        u64 stream_id) {
+  // FNV-1a over the field values.
+  u64 h = 0xcbf29ce484222325ull;
+  const auto mix = [&h](u64 v) {
+    h ^= v;
+    h *= 0x100000001b3ull;
+  };
+  mix(static_cast<u64>(bits_per_coeff));
+  mix(static_cast<u64>(kind));
+  mix(compressed ? 1 : 0);
+  mix(limbs);
+  mix(static_cast<u64>(log_n));
+  mix(galois_elt);
+  mix(stream_id);
+  return static_cast<u32>(h ^ (h >> 32));
+}
+
+void pack_poly(BitPacker& packer, const poly::RnsPoly& p,
+               int bits_per_coeff) {
+  for (std::size_t l = 0; l < p.limbs(); ++l) {
+    for (u64 v : p.limb(l)) packer.append(v, bits_per_coeff);
+  }
+}
+
+void unpack_poly(const CkksContext& ctx, BitUnpacker& unpacker,
+                 poly::RnsPoly& p, int bits_per_coeff) {
+  for (std::size_t l = 0; l < p.limbs(); ++l) {
+    const u64 q = ctx.poly_context()->modulus(l).value();
+    for (u64& v : p.limb(l)) {
+      v = unpacker.read(bits_per_coeff);
+      ABC_CHECK_ARG(v < q, "residue out of range (corrupt buffer?)");
+    }
+  }
+}
+
+void pack_key_header(BitPacker& packer, int bits_per_coeff, KeyKind kind,
+                     bool compressed, std::size_t limbs, int log_n,
+                     u32 galois_elt, u64 stream_id) {
+  packer.append(kKeyMagic, 32);
+  packer.append(static_cast<u64>(bits_per_coeff), 8);
+  packer.append(static_cast<u64>(kind), 8);
+  packer.append(compressed ? 1 : 0, 8);
+  packer.append(limbs, 16);
+  packer.append(static_cast<u64>(log_n), 8);
+  packer.append(galois_elt, 32);
+  packer.append(stream_id & 0xffffffffull, 32);
+  packer.append(stream_id >> 32, 32);
+  packer.append(key_header_checksum(bits_per_coeff, kind, compressed, limbs,
+                                    log_n, galois_elt, stream_id),
+                32);
+}
+
+struct KeyHeader {
+  int bits_per_coeff = 0;
+  KeyKind kind = KeyKind::kRelin;
+  bool compressed = false;
+  std::size_t limbs = 0;
+  int log_n = 0;
+  u32 galois_elt = 0;
+  u64 stream_id = 0;
+};
+
+KeyHeader unpack_key_header(BitUnpacker& unpacker) {
+  ABC_CHECK_ARG(unpacker.read(32) == kKeyMagic, "bad key magic");
+  KeyHeader h;
+  h.bits_per_coeff = static_cast<int>(unpacker.read(8));
+  h.kind = static_cast<KeyKind>(unpacker.read(8));
+  h.compressed = unpacker.read(8) != 0;
+  h.limbs = unpacker.read(16);
+  h.log_n = static_cast<int>(unpacker.read(8));
+  h.galois_elt = static_cast<u32>(unpacker.read(32));
+  h.stream_id = unpacker.read(32);
+  h.stream_id |= unpacker.read(32) << 32;
+  const u32 checksum = static_cast<u32>(unpacker.read(32));
+  ABC_CHECK_ARG(
+      checksum == key_header_checksum(h.bits_per_coeff, h.kind, h.compressed,
+                                      h.limbs, h.log_n, h.galois_elt,
+                                      h.stream_id),
+      "key header checksum mismatch (corrupt buffer?)");
+  return h;
+}
 
 }  // namespace
 
 void BitPacker::append(u64 value, int bits) {
   ABC_CHECK_ARG(bits >= 1 && bits <= 57, "pack width out of range");
-  ABC_CHECK_ARG(bits == 64 || (value >> bits) == 0, "value exceeds width");
+  ABC_CHECK_ARG((value >> bits) == 0, "value exceeds width");
   pending_ |= value << pending_bits_;
   pending_bits_ += bits;
   while (pending_bits_ >= 8) {
@@ -72,10 +170,7 @@ std::vector<u8> serialize_ciphertext(const Ciphertext& ct,
   }
   for (std::size_t comp = 0; comp < ct.size(); ++comp) {
     if (comp == 1 && ct.compressed_c1.has_value()) continue;  // regenerable
-    const poly::RnsPoly& p = ct.c(comp);
-    for (std::size_t l = 0; l < p.limbs(); ++l) {
-      for (u64 v : p.limb(l)) packer.append(v, bits_per_coeff);
-    }
+    pack_poly(packer, ct.c(comp), bits_per_coeff);
   }
   return packer.finish();
 }
@@ -110,17 +205,181 @@ Ciphertext deserialize_ciphertext(
     if (comp == 1 && compressed) {
       fill_uniform_eval(*ctx, p, PrngDomain::kSymmetricA, stream_id);
     } else {
-      for (std::size_t l = 0; l < limbs; ++l) {
-        const u64 q = ctx->poly_context()->modulus(l).value();
-        for (u64& v : p.limb(l)) {
-          v = unpacker.read(bits_per_coeff);
-          ABC_CHECK_ARG(v < q, "residue out of range (corrupt buffer?)");
-        }
-      }
+      unpack_poly(*ctx, unpacker, p, bits_per_coeff);
     }
     ct.components.push_back(std::move(p));
   }
   return ct;
+}
+
+namespace {
+
+PrngDomain ksk_salted_a_domain(const KeySwitchKey& key) {
+  return static_cast<PrngDomain>(
+      ksk_stream_domain(ksk_a_domain(key.kind), key.galois_elt));
+}
+
+/// The compressed forms drop the uniform halves, so the writer must prove
+/// they are regenerable first — otherwise a key whose uniform halves did
+/// not come from this context's seed (or whose in-memory stream metadata
+/// was mangled) would serialize fine and restore as different key
+/// material. @p expect is caller-provided scratch so a multi-digit key
+/// pays one allocation, not one per digit.
+void check_regenerable(const CkksContext& ctx, const poly::RnsPoly& a,
+                       PrngDomain domain, u64 stream_id,
+                       poly::RnsPoly& expect) {
+  fill_uniform_eval(ctx, expect, domain, stream_id);
+  for (std::size_t l = 0; l < a.limbs(); ++l) {
+    const std::span<const u64> got = a.limb(l);
+    const std::span<const u64> want = expect.limb(l);
+    ABC_CHECK_ARG(std::equal(got.begin(), got.end(), want.begin()),
+                  "uniform half not regenerable from (seed, stream id); "
+                  "serialize with compressed = false");
+  }
+}
+
+}  // namespace
+
+std::vector<u8> serialize_key_switch_key(
+    const std::shared_ptr<const CkksContext>& ctx, const KeySwitchKey& key,
+    int bits_per_coeff, bool compressed) {
+  ABC_CHECK_ARG(ctx != nullptr, "null context");
+  ABC_CHECK_ARG(!key.b.empty(), "empty key-switching key");
+  ABC_CHECK_ARG(key.a.size() == key.b.size(),
+                "mismatched key-switching key halves");
+  // The wire header records one limb count and the reader relies on it
+  // for every digit; the RNS gadget additionally fixes digits == limbs.
+  // A mismatched polynomial would shift every later word in the packed
+  // stream, which the probabilistic residue checks cannot reliably catch.
+  ABC_CHECK_ARG(key.digits() == key.b.front().limbs(),
+                "gadget digit count must equal the limb count");
+  for (std::size_t d = 0; d < key.digits(); ++d) {
+    ABC_CHECK_ARG(key.b[d].limbs() == key.digits() &&
+                      key.a[d].limbs() == key.digits(),
+                  "all key digits must carry the full limb count");
+  }
+  if (compressed) {
+    const PrngDomain domain = ksk_salted_a_domain(key);
+    poly::RnsPoly expect =
+        ctx->make_poly(key.a.front().limbs(), poly::Domain::kEval);
+    for (std::size_t d = 0; d < key.digits(); ++d) {
+      check_regenerable(*ctx, key.a[d], domain, key.base_stream_id + d,
+                        expect);
+    }
+  }
+  const poly::RnsPoly& first = key.b.front();
+  BitPacker packer;
+  pack_key_header(packer, bits_per_coeff,
+                  key.kind == KeySwitchKey::Kind::kRelin ? KeyKind::kRelin
+                                                         : KeyKind::kGalois,
+                  compressed, first.limbs(),
+                  log2_exact(first.n()), key.galois_elt,
+                  key.base_stream_id);
+  for (const poly::RnsPoly& b : key.b) pack_poly(packer, b, bits_per_coeff);
+  if (!compressed) {
+    for (const poly::RnsPoly& a : key.a) pack_poly(packer, a, bits_per_coeff);
+  }
+  return packer.finish();
+}
+
+KeySwitchKey deserialize_key_switch_key(
+    const std::shared_ptr<const CkksContext>& ctx,
+    std::span<const u8> bytes) {
+  BitUnpacker unpacker(bytes);
+  const KeyHeader h = unpack_key_header(unpacker);
+  ABC_CHECK_ARG(h.kind == KeyKind::kRelin || h.kind == KeyKind::kGalois,
+                "not a key-switching key");
+  ABC_CHECK_ARG(h.log_n == ctx->params().log_n, "degree mismatch");
+  ABC_CHECK_ARG(h.limbs == ctx->max_limbs(),
+                "key-switching keys carry full limbs");
+
+  KeySwitchKey key;
+  key.kind = h.kind == KeyKind::kRelin ? KeySwitchKey::Kind::kRelin
+                                       : KeySwitchKey::Kind::kGalois;
+  key.galois_elt = h.galois_elt;
+  key.base_stream_id = h.stream_id;
+  if (key.kind == KeySwitchKey::Kind::kGalois) {
+    ABC_CHECK_ARG((h.galois_elt & 1u) != 0 && h.galois_elt < 2 * ctx->n(),
+                  "invalid galois element");
+  } else {
+    ABC_CHECK_ARG(h.galois_elt == 0, "relin key with galois element");
+  }
+  key.b.reserve(h.limbs);
+  key.a.reserve(h.limbs);
+  for (std::size_t d = 0; d < h.limbs; ++d) {
+    poly::RnsPoly b = ctx->make_poly(h.limbs, poly::Domain::kEval);
+    unpack_poly(*ctx, unpacker, b, h.bits_per_coeff);
+    key.b.push_back(std::move(b));
+  }
+  for (std::size_t d = 0; d < h.limbs; ++d) {
+    poly::RnsPoly a = ctx->make_poly(h.limbs, poly::Domain::kEval);
+    if (h.compressed) {
+      fill_uniform_eval(*ctx, a, ksk_salted_a_domain(key),
+                        h.stream_id + d);
+    } else {
+      unpack_poly(*ctx, unpacker, a, h.bits_per_coeff);
+    }
+    key.a.push_back(std::move(a));
+  }
+  return key;
+}
+
+std::vector<u8> serialize_public_key(
+    const std::shared_ptr<const CkksContext>& ctx, const PublicKey& pk,
+    int bits_per_coeff, bool compressed) {
+  ABC_CHECK_ARG(ctx != nullptr, "null context");
+  ABC_CHECK_ARG(pk.a.limbs() == pk.b.limbs(),
+                "public key halves must carry the same limb count");
+  if (compressed) {
+    poly::RnsPoly expect = ctx->make_poly(pk.a.limbs(), poly::Domain::kEval);
+    check_regenerable(*ctx, pk.a, PrngDomain::kPublicA, pk.stream_id,
+                      expect);
+  }
+  BitPacker packer;
+  pack_key_header(packer, bits_per_coeff, KeyKind::kPublic, compressed,
+                  pk.b.limbs(), log2_exact(pk.b.n()), 0, pk.stream_id);
+  pack_poly(packer, pk.b, bits_per_coeff);
+  if (!compressed) pack_poly(packer, pk.a, bits_per_coeff);
+  return packer.finish();
+}
+
+PublicKey deserialize_public_key(
+    const std::shared_ptr<const CkksContext>& ctx,
+    std::span<const u8> bytes) {
+  BitUnpacker unpacker(bytes);
+  const KeyHeader h = unpack_key_header(unpacker);
+  ABC_CHECK_ARG(h.kind == KeyKind::kPublic, "not a public key");
+  ABC_CHECK_ARG(h.galois_elt == 0, "public key with galois element");
+  ABC_CHECK_ARG(h.log_n == ctx->params().log_n, "degree mismatch");
+  ABC_CHECK_ARG(h.limbs == ctx->max_limbs(), "public keys carry full limbs");
+
+  poly::RnsPoly b = ctx->make_poly(h.limbs, poly::Domain::kEval);
+  unpack_poly(*ctx, unpacker, b, h.bits_per_coeff);
+  poly::RnsPoly a = ctx->make_poly(h.limbs, poly::Domain::kEval);
+  if (h.compressed) {
+    fill_uniform_eval(*ctx, a, PrngDomain::kPublicA, h.stream_id);
+  } else {
+    unpack_poly(*ctx, unpacker, a, h.bits_per_coeff);
+  }
+  return PublicKey{std::move(b), std::move(a), h.stream_id};
+}
+
+KeySizeReport key_switch_key_sizes(const KeySwitchKey& key,
+                                   int bits_per_coeff) {
+  ABC_CHECK_ARG(!key.b.empty(), "empty key-switching key");
+  const std::size_t poly_bits =
+      key.b.front().limbs() * key.b.front().n() *
+      static_cast<std::size_t>(bits_per_coeff);
+  const std::size_t half = key.digits() * poly_bits;
+  return KeySizeReport{(kKeyHeaderBits + half + 7) / 8,
+                       (kKeyHeaderBits + 2 * half + 7) / 8};
+}
+
+KeySizeReport public_key_sizes(const PublicKey& pk, int bits_per_coeff) {
+  const std::size_t poly_bits =
+      pk.b.limbs() * pk.b.n() * static_cast<std::size_t>(bits_per_coeff);
+  return KeySizeReport{(kKeyHeaderBits + poly_bits + 7) / 8,
+                       (kKeyHeaderBits + 2 * poly_bits + 7) / 8};
 }
 
 }  // namespace abc::ckks

@@ -1,25 +1,43 @@
 #pragma once
 
 /// @file serialize.hpp
-/// Binary serialization of ciphertexts with coefficients packed at the
+/// Binary serialization of ciphertexts and keys with residues packed at the
 /// datapath width (44 bits by default) — the same packing the accelerator
-/// streams to LPDDR5, so a serialized ciphertext's size equals the DRAM
-/// traffic the simulator accounts for. Seed-compressed ciphertexts ship
-/// only the stream id for c1 and regenerate it on load.
+/// streams to LPDDR5, so a serialized object's size equals the DRAM
+/// traffic the simulator accounts for.
+///
+/// Seed-compressed forms ship only what a holder of the context seed cannot
+/// regenerate: a ciphertext drops its uniform c1 in favor of the PRNG
+/// stream id, a public key drops `a`, and a key-switching key drops every
+/// per-digit a_d in favor of one base stream id. At bootstrappable
+/// parameter sizes this halves key upload traffic (see KeySizeReport),
+/// which is exactly why the paper's client generates keys next to the
+/// on-chip PRNG.
 
 #include <cstddef>
 #include <vector>
 
 #include "ckks/ciphertext.hpp"
 #include "ckks/context.hpp"
+#include "ckks/keygen.hpp"
 
 namespace abc::ckks {
 
 /// Little-endian bit-level packer for fixed-width words.
+///
+/// Contract:
+///  * append() accepts widths in [1, 57] and checks that the value fits
+///    the width. The 57-bit cap is structural: up to 7 bits can be pending
+///    from earlier appends, and pending + width must fit the 64-bit
+///    staging word (7 + 57 = 64).
+///  * Bits are emitted LSB-first; one word may straddle any number of byte
+///    boundaries (a 44-bit word starting at bit offset 7 spans 7 bytes).
+///  * finish() zero-fills the high bits of a partial final byte, returns
+///    the buffer, and leaves the packer empty and reusable.
 class BitPacker {
  public:
   void append(u64 value, int bits);
-  /// Flushes the partial byte and returns the buffer.
+  /// Flushes the partial byte (high bits zero) and returns the buffer.
   std::vector<u8> finish();
 
  private:
@@ -28,6 +46,16 @@ class BitPacker {
   int pending_bits_ = 0;
 };
 
+/// Mirror of BitPacker: LSB-first fixed-width reads over a byte span.
+///
+/// Contract:
+///  * read() accepts widths in [1, 57], matching the packer, and assembles
+///    words across byte boundaries.
+///  * Zero-padding bits inside the final partial byte read back as zeros;
+///    only reads that need a byte past the end of the span throw
+///    InvalidArgument ("truncated"). A reader that follows the writer's
+///    width sequence therefore never observes padding.
+///  * The span is borrowed, not copied: it must outlive the unpacker.
 class BitUnpacker {
  public:
   explicit BitUnpacker(std::span<const u8> bytes) : bytes_(bytes) {}
@@ -49,5 +77,50 @@ std::vector<u8> serialize_ciphertext(const Ciphertext& ct,
 Ciphertext deserialize_ciphertext(
     const std::shared_ptr<const CkksContext>& ctx,
     std::span<const u8> bytes);
+
+// -- key material -----------------------------------------------------------
+
+/// Serializes a key-switching key. Compressed form ships the b halves plus
+/// the base stream id; the a halves are regenerated on load from the
+/// kind's salted stream domain at (base + digit). Before dropping them,
+/// the writer regenerates every a_d from @p ctx and verifies it matches —
+/// a key whose uniform halves did not come from this context's seed (or
+/// whose stream metadata was tampered with) throws InvalidArgument
+/// instead of silently round-tripping to a different key. Pass
+/// compressed = false to materialize both halves (a reader without the
+/// seed).
+std::vector<u8> serialize_key_switch_key(
+    const std::shared_ptr<const CkksContext>& ctx, const KeySwitchKey& key,
+    int bits_per_coeff = 44, bool compressed = true);
+
+KeySwitchKey deserialize_key_switch_key(
+    const std::shared_ptr<const CkksContext>& ctx, std::span<const u8> bytes);
+
+/// Serializes a public key; compressed form ships b + stream id only,
+/// with the same regenerability verification as the switching keys.
+std::vector<u8> serialize_public_key(
+    const std::shared_ptr<const CkksContext>& ctx, const PublicKey& pk,
+    int bits_per_coeff = 44, bool compressed = true);
+
+PublicKey deserialize_public_key(
+    const std::shared_ptr<const CkksContext>& ctx, std::span<const u8> bytes);
+
+/// Wire sizes of a key in both forms — the client-upload story at a
+/// glance. Computed analytically from the packing layout; exact (tested
+/// against the byte streams the serializers emit).
+struct KeySizeReport {
+  std::size_t compressed_bytes = 0;
+  std::size_t full_bytes = 0;
+  double ratio() const {
+    return compressed_bytes == 0
+               ? 0.0
+               : static_cast<double>(full_bytes) /
+                     static_cast<double>(compressed_bytes);
+  }
+};
+
+KeySizeReport key_switch_key_sizes(const KeySwitchKey& key,
+                                   int bits_per_coeff = 44);
+KeySizeReport public_key_sizes(const PublicKey& pk, int bits_per_coeff = 44);
 
 }  // namespace abc::ckks

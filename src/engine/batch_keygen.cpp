@@ -1,0 +1,109 @@
+#include "engine/batch_keygen.hpp"
+
+#include "common/check.hpp"
+
+namespace abc::engine {
+
+namespace {
+
+poly::RnsPoly squared(const poly::RnsPoly& s) {
+  poly::RnsPoly s2 = s;
+  s2.mul_inplace(s);
+  return s2;
+}
+
+poly::RnsPoly negated(const poly::RnsPoly& s) {
+  poly::RnsPoly neg = s;
+  neg.negate_inplace();
+  return neg;
+}
+
+}  // namespace
+
+BatchKeyGenerator::BatchKeyGenerator(
+    std::shared_ptr<const ckks::CkksContext> ctx, const ckks::SecretKey& sk)
+    : ctx_(ctx),
+      s_eval_(sk.s),
+      s_neg_eval_(negated(sk.s)),
+      secret_id_(sk.stream_id) {
+  ABC_CHECK_ARG(ctx_ != nullptr, "null context");
+  const std::size_t lanes = ctx_->backend().workers();
+  scratch_.resize(lanes);
+}
+
+/// Allocates the key metadata + uninitialized digit polynomials; the base
+/// stream id (secret-salted, contiguous counter block) is fixed here,
+/// before any fan-out, so scheduling cannot change stream assignment.
+ckks::KeySwitchKey BatchKeyGenerator::make_key_shell(
+    ckks::KeySwitchKey::Kind kind, u32 galois_elt) {
+  const std::size_t digits = ctx_->max_limbs();
+  ckks::KeySwitchKey key;
+  key.kind = kind;
+  key.galois_elt = galois_elt;
+  key.base_stream_id =
+      ckks::ksk_base_stream_id(secret_id_, reserve_stream_ids(digits));
+  key.b.reserve(digits);
+  key.a.reserve(digits);
+  for (std::size_t d = 0; d < digits; ++d) {
+    key.b.push_back(ctx_->make_poly(digits, poly::Domain::kEval));
+    key.a.push_back(ctx_->make_poly(digits, poly::Domain::kEval));
+  }
+  return key;
+}
+
+ckks::KeySwitchKey BatchKeyGenerator::make_ksk_parallel(
+    ckks::KeySwitchKey::Kind kind, u32 galois_elt,
+    const poly::RnsPoly& s_prime_eval) {
+  ckks::KeySwitchKey key = make_key_shell(kind, galois_elt);
+  ctx_->backend().parallel_for(
+      key.digits(), [&](std::size_t d, std::size_t worker) {
+        ckks::generate_ksk_digit(*ctx_, s_neg_eval_, s_prime_eval, kind,
+                                 galois_elt, key.base_stream_id + d, d,
+                                 key.b[d], key.a[d], &scratch_.at(worker));
+      });
+  return key;
+}
+
+ckks::RelinKey BatchKeyGenerator::relin_key() {
+  if (!s2_eval_) s2_eval_ = squared(s_eval_);
+  return ckks::RelinKey{
+      make_ksk_parallel(ckks::KeySwitchKey::Kind::kRelin, 0, *s2_eval_)};
+}
+
+ckks::GaloisKeys BatchKeyGenerator::galois_keys(std::span<const int> steps) {
+  // Rotated secrets first (each automorphism + NTT already fans its limbs
+  // across the pool), then every (step, digit) pair as one flat work
+  // list. Counter blocks are reserved in step order before the fan-out,
+  // so the result is independent of the worker count.
+  ckks::GaloisKeys out;
+  out.slots = ctx_->slots();
+  out.steps.assign(steps.begin(), steps.end());
+  if (steps.empty()) return out;
+  out.keys.reserve(steps.size());
+  std::vector<poly::RnsPoly> rotated;
+  rotated.reserve(steps.size());
+  poly::RnsPoly s_coeff = s_eval_;
+  s_coeff.to_coeff();
+  for (int step : steps) {
+    const u32 elt = ckks::galois_element(step, ctx_->n());
+    poly::RnsPoly s_rot = s_coeff.automorphism(elt);
+    s_rot.to_eval();
+    rotated.push_back(std::move(s_rot));
+    out.keys.push_back(
+        make_key_shell(ckks::KeySwitchKey::Kind::kGalois, elt));
+  }
+  const std::size_t digits = ctx_->max_limbs();
+  ctx_->backend().parallel_for(
+      steps.size() * digits, [&](std::size_t i, std::size_t worker) {
+        const std::size_t k = i / digits;
+        const std::size_t d = i % digits;
+        ckks::KeySwitchKey& key = out.keys[k];
+        ckks::generate_ksk_digit(*ctx_, s_neg_eval_, rotated[k],
+                                 ckks::KeySwitchKey::Kind::kGalois,
+                                 key.galois_elt, key.base_stream_id + d, d,
+                                 key.b[d], key.a[d], &scratch_.at(worker));
+      });
+  return out;
+}
+
+}  // namespace abc::engine

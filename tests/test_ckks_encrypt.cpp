@@ -35,7 +35,7 @@ struct Fixture {
 
 TEST(CkksEncrypt, PublicKeyRoundtrip) {
   Fixture f;
-  Encryptor enc(f.ctx, PublicKey{f.pk.b, f.pk.a});
+  Encryptor enc(f.ctx, PublicKey{f.pk.b, f.pk.a, f.pk.stream_id});
   Decryptor dec(f.ctx, f.sk);
   const auto slots = random_slots(f.encoder.slots(), 1);
   const Plaintext pt = f.encoder.encode(slots, f.ctx->max_limbs());
@@ -66,7 +66,7 @@ TEST(CkksEncrypt, CiphertextLooksUniform) {
   // c1 of a public-key encryption is computationally indistinguishable
   // from uniform; sanity-check the first moment per limb.
   Fixture f;
-  Encryptor enc(f.ctx, PublicKey{f.pk.b, f.pk.a});
+  Encryptor enc(f.ctx, PublicKey{f.pk.b, f.pk.a, f.pk.stream_id});
   const Plaintext pt =
       f.encoder.encode(random_slots(f.encoder.slots(), 3), 3);
   const Ciphertext ct = enc.encrypt(pt);
@@ -81,7 +81,7 @@ TEST(CkksEncrypt, CiphertextLooksUniform) {
 
 TEST(CkksEncrypt, WrongKeyFailsToDecrypt) {
   Fixture f;
-  Encryptor enc(f.ctx, PublicKey{f.pk.b, f.pk.a});
+  Encryptor enc(f.ctx, PublicKey{f.pk.b, f.pk.a, f.pk.stream_id});
   KeyGenerator other_gen(f.ctx);
   (void)other_gen.secret_key();           // advance stream
   SecretKey wrong = other_gen.secret_key();
@@ -96,7 +96,7 @@ TEST(CkksEncrypt, WrongKeyFailsToDecrypt) {
 
 TEST(CkksEncrypt, EncryptionsAreDistinct) {
   Fixture f;
-  Encryptor enc(f.ctx, PublicKey{f.pk.b, f.pk.a});
+  Encryptor enc(f.ctx, PublicKey{f.pk.b, f.pk.a, f.pk.stream_id});
   const Plaintext pt = f.encoder.encode(random_slots(8, 5), 2);
   const Ciphertext a = enc.encrypt(pt);
   const Ciphertext b = enc.encrypt(pt);
@@ -132,7 +132,7 @@ TEST(CkksEncrypt, NttPassAccountingMatchesModes) {
   const Plaintext pt = f.encoder.encode(random_slots(8, 7), limbs);
 
   {
-    Encryptor enc(f.ctx, PublicKey{f.pk.b, f.pk.a});
+    Encryptor enc(f.ctx, PublicKey{f.pk.b, f.pk.a, f.pk.stream_id});
     xf::OpCounterScope scope;
     (void)enc.encrypt(pt);
     const u64 got = scope.delta().ntt_mul;

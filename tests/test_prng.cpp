@@ -3,6 +3,7 @@
 #include <cmath>
 #include <map>
 
+#include "ckks/keygen.hpp"
 #include "common/stats.hpp"
 #include "prng/chacha20.hpp"
 #include "prng/samplers.hpp"
@@ -42,6 +43,36 @@ TEST(ChaCha20, DeterministicAndStreamSeparated) {
     EXPECT_EQ(va, b.next_u64());
     EXPECT_NE(va, c.next_u64());
     EXPECT_NE(va, d.next_u64());
+  }
+}
+
+TEST(ChaCha20, PrngDomainTagsAreDisjointStreams) {
+  // Every PrngDomain consumer must sit on its own keystream: the domain
+  // word is part of the ChaCha nonce, so equal (seed, stream id) pairs
+  // under different domains never collide. Enumerates the full domain map
+  // (documented in docs/ARCHITECTURE.md) to catch an accidentally reused
+  // tag when a new domain is added.
+  using ckks::PrngDomain;
+  const std::array<u8, 16> seed = {3, 1, 4, 1, 5, 9, 2, 6,
+                                   5, 3, 5, 8, 9, 7, 9, 3};
+  const std::array<PrngDomain, 11> domains = {
+      PrngDomain::kSecretKey,   PrngDomain::kPublicA,
+      PrngDomain::kKeygenError, PrngDomain::kEncryptMask,
+      PrngDomain::kEncryptError, PrngDomain::kSymmetricA,
+      PrngDomain::kSymmetricError, PrngDomain::kRelinA,
+      PrngDomain::kRelinError,  PrngDomain::kGaloisA,
+      PrngDomain::kGaloisError};
+  std::vector<u64> first_words;
+  for (PrngDomain d : domains) {
+    ChaCha20 rng(seed, /*stream_id=*/0, static_cast<u32>(d));
+    first_words.push_back(rng.next_u64());
+  }
+  for (std::size_t i = 0; i < domains.size(); ++i) {
+    EXPECT_NE(static_cast<u32>(domains[i]), 0u);  // 0 is the default domain
+    for (std::size_t j = i + 1; j < domains.size(); ++j) {
+      EXPECT_NE(static_cast<u32>(domains[i]), static_cast<u32>(domains[j]));
+      EXPECT_NE(first_words[i], first_words[j]) << i << " vs " << j;
+    }
   }
 }
 

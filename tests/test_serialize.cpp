@@ -42,6 +42,53 @@ TEST(BitUnpacker, TruncationDetected) {
   EXPECT_THROW(unpacker.read(8), InvalidArgument);
 }
 
+TEST(BitPacker, CrossByteBoundaryWords) {
+  // Regression for words straddling byte boundaries: a 7-bit prefix puts
+  // every following word at bit offset 7, so a 17-bit word spans 4 bytes
+  // and a 44-bit word spans 7. Mixed widths must still read back exactly.
+  BitPacker packer;
+  packer.append(0x55, 7);
+  packer.append(0x1ABCD, 17);
+  packer.append((u64{1} << 44) - 2, 44);
+  packer.append(0x5, 3);
+  packer.append(0x1FFFFFFFFFFFFFF, 57);
+  const auto bytes = packer.finish();
+  EXPECT_EQ(bytes.size(), (7u + 17 + 44 + 3 + 57 + 7) / 8);
+  BitUnpacker unpacker(bytes);
+  EXPECT_EQ(unpacker.read(7), 0x55u);
+  EXPECT_EQ(unpacker.read(17), 0x1ABCDu);
+  EXPECT_EQ(unpacker.read(44), (u64{1} << 44) - 2);
+  EXPECT_EQ(unpacker.read(3), 0x5u);
+  EXPECT_EQ(unpacker.read(57), 0x1FFFFFFFFFFFFFFull);
+  EXPECT_EQ(unpacker.bits_consumed(), 7u + 17 + 44 + 3 + 57);
+}
+
+TEST(BitPacker, PartialFinalByteIsZeroPadded) {
+  // finish() zero-fills the high bits of the last byte; the documented
+  // unpacker contract is that padding inside the final byte reads as
+  // zeros, while the first read needing a byte past the end throws.
+  BitPacker packer;
+  packer.append(0b101, 3);
+  const auto bytes = packer.finish();
+  ASSERT_EQ(bytes.size(), 1u);
+  EXPECT_EQ(bytes[0], 0b101);
+  BitUnpacker unpacker(bytes);
+  EXPECT_EQ(unpacker.read(3), 0b101u);
+  EXPECT_EQ(unpacker.read(5), 0u);  // padding bits of the final byte
+  EXPECT_THROW(unpacker.read(1), InvalidArgument);
+}
+
+TEST(BitPacker, FinishResetsForReuse) {
+  BitPacker packer;
+  packer.append(0xFF, 8);
+  packer.append(1, 1);
+  (void)packer.finish();
+  packer.append(0xAB, 8);
+  const auto bytes = packer.finish();
+  ASSERT_EQ(bytes.size(), 1u);
+  EXPECT_EQ(bytes[0], 0xABu);
+}
+
 struct Fixture {
   std::shared_ptr<const CkksContext> ctx;
   CkksEncoder encoder;

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Checks that relative markdown links in the repo's docs resolve.
+
+Scans the top-level *.md files and docs/**/*.md for inline links
+[text](target) and validates that every relative target exists on disk
+(anchors are stripped; http(s)/mailto targets are skipped so the check
+stays hermetic). Exits non-zero listing every broken link.
+
+Usage: python3 tools/check_links.py [file.md ...]
+       (no arguments: scan the default doc set)
+"""
+
+import pathlib
+import re
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+# Inline markdown links/images; the target stops at whitespace or ')'.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:")
+
+
+def doc_set(argv):
+    if argv:
+        return [pathlib.Path(a) for a in argv]
+    docs = sorted(ROOT.glob("*.md")) + sorted(ROOT.glob("docs/**/*.md"))
+    return docs
+
+
+def check_file(path):
+    broken = []
+    text = path.read_text(encoding="utf-8")
+    in_code_fence = False
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if line.lstrip().startswith("```"):
+            in_code_fence = not in_code_fence
+            continue
+        if in_code_fence:
+            continue
+        for match in LINK_RE.finditer(line):
+            target = match.group(1)
+            if target.startswith(SKIP_PREFIXES) or target.startswith("#"):
+                continue
+            rel = target.split("#", 1)[0]
+            if not rel:
+                continue
+            resolved = (path.parent / rel).resolve()
+            if not resolved.exists():
+                broken.append((lineno, target))
+    return broken
+
+
+def main(argv):
+    failures = 0
+    files = doc_set(argv)
+    for path in files:
+        if not path.exists():
+            print(f"error: no such file: {path}", file=sys.stderr)
+            failures += 1
+            continue
+        for lineno, target in check_file(path):
+            rel_path = path.relative_to(ROOT) if path.is_relative_to(ROOT) else path
+            print(f"{rel_path}:{lineno}: broken link -> {target}",
+                  file=sys.stderr)
+            failures += 1
+    print(f"checked {len(files)} markdown file(s), {failures} broken link(s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
