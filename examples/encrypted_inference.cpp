@@ -1,15 +1,18 @@
 // Encrypted inference round trip — the workload motivating the paper's
-// Fig. 1. The client encodes and encrypts a feature vector; the "server"
-// evaluates a small dense layer with a polynomial activation entirely on
-// ciphertexts (plaintext weights, homomorphic add/mult/rescale); the
-// client decrypts and decodes the logits and checks them against the
-// cleartext computation.
+// Fig. 1, now end to end through the key-switching subsystem. The client
+// encodes and encrypts a feature vector and generates the switching keys;
+// the "server" evaluates a dense layer with a polynomial activation and a
+// *real* slot reduction: relinearized ciphertext products and a
+// rotate-and-sum tree that folds every slot into the logit, exactly the
+// pattern BTS-class servers run.
 //
-//   client: encode + encrypt            (what ABC-FHE accelerates)
-//   server: w*x + b, then y = 0.5*y^2   (CKKS-friendly activation)
-//   client: decrypt + decode
+//   client: encode + encrypt + keygen     (what ABC-FHE accelerates)
+//   server: y = 0.5*(w.*x + b)^2          (CKKS-friendly activation)
+//           relinearize(y*y is 3 comps)   (relin key)
+//           logit = sum_slots(y)          (rotate-and-sum, Galois keys)
+//   client: decrypt + decode + verify_decode
 //
-// Run: ./build/examples/encrypted_inference
+// Run: ./build/encrypted_inference
 
 #include <cmath>
 #include <complex>
@@ -21,13 +24,15 @@
 #include "ckks/encoder.hpp"
 #include "ckks/encryptor.hpp"
 #include "ckks/evaluator.hpp"
+#include "ckks/noise.hpp"
 #include "core/simulator.hpp"
 
 int main() {
   using namespace abc;
-  std::puts("== Encrypted inference (dense layer + square activation) ==\n");
+  std::puts(
+      "== Encrypted inference (dense layer + square + rotate-and-sum) ==\n");
 
-  // Depth-3 computation: weights multiply, activation square, output scale.
+  // Depth-3 computation: weights multiply, activation square, reduction.
   ckks::CkksParams params = ckks::CkksParams::sweep_point(13, 6);
   auto ctx = ckks::CkksContext::create(params);
   ckks::CkksEncoder encoder(ctx);
@@ -37,7 +42,9 @@ int main() {
   ckks::Decryptor decryptor(ctx, sk);
   ckks::Evaluator eval(ctx);
 
-  // Client: feature vector packed one feature per slot.
+  // Client: feature vector packed one feature per slot, plus the key set
+  // the server needs — relin + the log2(slots) power-of-two Galois keys of
+  // the reduction tree.
   const std::size_t features = encoder.slots();
   std::mt19937_64 rng(7);
   std::uniform_real_distribution<double> dist(-0.5, 0.5);
@@ -53,6 +60,15 @@ int main() {
               params.num_limbs);
   const ckks::Plaintext pt_x = encoder.encode(x, params.num_limbs);
   const ckks::Ciphertext ct_x = encryptor.encrypt(pt_x);
+
+  std::vector<int> tree_steps;
+  for (std::size_t s = 1; s < features; s <<= 1) {
+    tree_steps.push_back(static_cast<int>(s));
+  }
+  std::printf("Client: generating relin + %zu Galois keys...\n",
+              tree_steps.size());
+  const ckks::RelinKey rlk = keygen.relin_key(sk);
+  const ckks::GaloisKeys gks = keygen.galois_keys(sk, tree_steps);
 
   // Server (no secret key): y = 0.5 * (w .* x + b)^2, element-wise.
   // The 0.5 folds into the linear layer: 0.5*(wx+b)^2 = (w'x + b')^2 with
@@ -78,32 +94,48 @@ int main() {
   pt_b.scale = y.scale;
   y = eval.add_plain(y, pt_b);
 
-  ckks::Ciphertext logits = eval.mul(y, y);  // 3 components, scale^2
-  eval.rescale_inplace(logits);
+  ckks::Ciphertext act = eval.mul(y, y);  // 3 components, scale^2
+  std::puts("Server: relinearizing the squared activation...");
+  ckks::KeySwitchScratch scratch;
+  eval.relinearize_inplace(act, rlk, &scratch);
+  eval.rescale_inplace(act);
 
-  // Client: decrypt + decode.
-  std::puts("Client: decrypting logits...");
-  const auto decoded = encoder.decode(decryptor.decrypt(logits));
+  // Rotate-and-sum: after log2(slots) doubling rotations every slot holds
+  // sum_i y_i — the layer's logit.
+  std::printf("Server: rotate-and-sum over %zu slots (%zu rotations)...\n",
+              features, tree_steps.size());
+  ckks::Ciphertext logit = act;
+  for (const int step : tree_steps) {
+    logit = eval.add(logit, eval.rotate(logit, step, gks, &scratch));
+  }
 
-  double max_err = 0.0;
+  // Client: decrypt + decode + verify against the cleartext computation.
+  std::puts("Client: decrypting + verifying the logit...");
+  double expect = 0.0;
   for (std::size_t i = 0; i < features; ++i) {
     const double t = w[i] * x[i].real() + b[i];
-    const double expect = 0.5 * t * t;
-    max_err = std::max(max_err, std::abs(decoded[i].real() - expect));
+    expect += 0.5 * t * t;
   }
-  std::printf("\nMax |HE - cleartext| over %zu outputs: %.3g\n", features,
-              max_err);
+  const std::vector<std::complex<double>> expect_slots(features,
+                                                       {expect, 0.0});
+  const ckks::VerifyReport report = ckks::verify_decode(
+      *ctx, logit, decryptor, encoder, expect_slots, 0.05);
+  std::printf(
+      "\nLogit (all slots): expected %.6f, max |HE - cleartext| %.3g "
+      "(%.1f bits) -> %s\n",
+      expect, report.max_abs_error, report.precision_bits,
+      report.ok ? "OK" : "FAILED");
 
   // The client-side cost is exactly what ABC-FHE accelerates.
   core::ArchConfig cfg = core::ArchConfig::paper_default();
   cfg.log_n = params.log_n;
   cfg.fresh_limbs = params.num_limbs;
-  cfg.returned_limbs = logits.limbs();
+  cfg.returned_limbs = logit.limbs();
   cfg.enc_profile = core::EncryptProfile::public_key();
   core::AbcFheSimulator sim(cfg);
   std::printf(
       "\nClient cost on ABC-FHE: encode+encrypt %.3f ms, decode+decrypt "
       "%.3f ms per inference\n",
       sim.encode_encrypt_ms(), sim.decode_decrypt_ms());
-  return max_err < 0.05 ? 0 : 1;
+  return report.ok ? 0 : 1;
 }

@@ -4,8 +4,8 @@
 /// Plaintext and ciphertext containers. A plaintext is a scaled integer
 /// polynomial in coefficient form; a ciphertext is a tuple of RNS
 /// polynomials in evaluation (NTT) form. Unrelinearized products carry a
-/// third component (decryptable against s^2 — the client-side library does
-/// not implement key switching, which is a server-side operation).
+/// third component, decryptable against s^2 directly or reduced back to
+/// two components by Evaluator::relinearize_inplace (keyswitch.hpp).
 
 #include <optional>
 #include <vector>

@@ -15,8 +15,111 @@ void check_binop(const Ciphertext& a, const Ciphertext& b) {
 }  // namespace
 
 Evaluator::Evaluator(std::shared_ptr<const CkksContext> ctx)
-    : ctx_(std::move(ctx)) {
+    : ctx_(ctx), switcher_(std::move(ctx)) {
   ABC_CHECK_ARG(ctx_ != nullptr, "null context");
+}
+
+void Evaluator::relinearize_inplace(Ciphertext& ct, const RelinKey& rlk,
+                                    KeySwitchScratch* scratch) const {
+  ABC_CHECK_ARG(ct.size() == 3,
+                "relinearization expects an unreduced 3-component product");
+  ABC_CHECK_ARG(rlk.key.kind == KeySwitchKey::Kind::kRelin,
+                "not a relinearization key");
+  const std::size_t limbs = ct.limbs();
+  // Every check accumulate() would make, hoisted up front: nothing below
+  // may throw after ct starts mutating (a caller catching mid-way would
+  // otherwise hold a 2-component ciphertext that decrypts to garbage).
+  ABC_CHECK_ARG(rlk.key.digits() >= limbs && !rlk.key.b.empty() &&
+                    rlk.key.b[0].limbs() == ctx_->max_limbs(),
+                "relin key does not cover this ciphertext");
+  KeySwitchScratch local;
+  KeySwitchScratch& s = scratch ? *scratch : local;
+  if (!s.work) s.work.emplace(ctx_->make_poly(limbs, poly::Domain::kEval));
+  poly::RnsPoly& c2 = *s.work;
+  c2.assign_prefix(ct.c(2), limbs);
+  c2.to_coeff();
+  switcher_.decompose(c2, s);  // throws on full-level inputs (reserved
+                               // special prime) — still before mutation
+  // Reuse the retiring third component and the staging polynomial (free
+  // once the digits are extracted) as the key-switch output buffers: with
+  // external scratch the whole relinearization is allocation-free.
+  poly::RnsPoly ks0 = std::move(ct.components.back());
+  ct.components.pop_back();
+  switcher_.accumulate(rlk.key, {}, s, ks0, c2);
+  ct.c(0).add_inplace(ks0);
+  ct.c(1).add_inplace(c2);
+  ct.compressed_c1.reset();
+}
+
+/// Shared body of rotate()/rotate_many(): expects scratch.digits to hold
+/// the decomposition of the *unrotated* c1; the step's automorphism is
+/// applied to the digits inside the accumulation (evaluation-domain
+/// permutation) and to c0 directly. Rotation always runs on un-rotated
+/// digits — decomposing sigma(c1) instead would pick the other (equally
+/// valid) integer lift of the digits and produce a different-but-
+/// equivalent ciphertext; standardizing on this form is what makes one
+/// hoisted decomposition serve every step bit-identically to single
+/// rotations.
+void Evaluator::rotate_into(const Ciphertext& ct, int step,
+                            const GaloisKeys& gks, KeySwitchScratch& s,
+                            Ciphertext& out) const {
+  const KeySwitchKey& key = gks.key_for(step);
+  ABC_CHECK_ARG(key.kind == KeySwitchKey::Kind::kGalois, "not a Galois key");
+  const std::size_t limbs = ct.limbs();
+  poly::RnsPoly ks0 = ctx_->make_poly(limbs, poly::Domain::kEval);
+  poly::RnsPoly ks1 = ctx_->make_poly(limbs, poly::Domain::kEval);
+  build_galois_eval_table(ctx_->params().log_n, key.galois_elt, s.perm);
+  switcher_.accumulate(key, s.perm, s, ks0, ks1);
+  // out c0 = sigma(c0) + ks0, applied in the evaluation domain.
+  if (!s.work) s.work.emplace(ctx_->make_poly(limbs, poly::Domain::kEval));
+  apply_galois_eval(ct.c(0), s.perm, *s.work);
+  ks0.add_inplace(*s.work);
+  out.components.clear();
+  out.components.push_back(std::move(ks0));
+  out.components.push_back(std::move(ks1));
+  out.scale = ct.scale;
+  out.compressed_c1.reset();
+}
+
+/// Stages the decomposition of ct's c1 into @p s (the hoistable part of
+/// every rotation).
+void Evaluator::decompose_c1(const Ciphertext& ct,
+                             KeySwitchScratch& s) const {
+  ABC_CHECK_ARG(ct.size() == 2, "rotation expects 2 components "
+                                "(relinearize products first)");
+  const std::size_t limbs = ct.limbs();
+  if (!s.work) s.work.emplace(ctx_->make_poly(limbs, poly::Domain::kEval));
+  s.work->assign_prefix(ct.c(1), limbs);
+  s.work->to_coeff();
+  switcher_.decompose(*s.work, s);
+}
+
+Ciphertext Evaluator::rotate(const Ciphertext& ct, int step,
+                             const GaloisKeys& gks,
+                             KeySwitchScratch* scratch) const {
+  (void)gks.key_for(step);  // fail before the expensive decomposition
+  KeySwitchScratch local;
+  KeySwitchScratch& s = scratch ? *scratch : local;
+  decompose_c1(ct, s);
+  Ciphertext out;
+  rotate_into(ct, step, gks, s, out);
+  return out;
+}
+
+std::vector<Ciphertext> Evaluator::rotate_many(const Ciphertext& ct,
+                                               std::span<const int> steps,
+                                               const GaloisKeys& gks,
+                                               KeySwitchScratch* scratch) const {
+  KeySwitchScratch local;
+  KeySwitchScratch& s = scratch ? *scratch : local;
+  std::vector<Ciphertext> out(steps.size());
+  if (steps.empty()) return out;
+  for (const int step : steps) (void)gks.key_for(step);  // fail fast
+  decompose_c1(ct, s);  // once; every step reuses the digits
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    rotate_into(ct, steps[i], gks, s, out[i]);
+  }
+  return out;
 }
 
 Ciphertext Evaluator::add(const Ciphertext& a, const Ciphertext& b) const {

@@ -1,18 +1,25 @@
 #pragma once
 
 /// @file evaluator.hpp
-/// Light homomorphic evaluator. The paper's accelerator is client-side
-/// only, but the examples and the Fig. 1 workload need a working server
-/// counterpart: addition, plaintext multiplication, ciphertext
-/// multiplication (unrelinearized, 3 components) and RNS rescaling.
-/// Key switching / relinearization is intentionally out of scope (it lives
-/// on the server accelerator, e.g. Trinity [9]); decryption handles
-/// 3-component results directly.
+/// Homomorphic evaluator: addition, plaintext multiplication, ciphertext
+/// multiplication, RNS rescaling — and, since the key-switching subsystem
+/// landed (keyswitch.hpp), the operations that consume the client's
+/// switching keys: relinearization of 3-component products and slot
+/// rotations, including a hoisted multi-rotation that decomposes its input
+/// once (ARK-style digit reuse).
+///
+/// Level discipline: the last RNS prime is reserved as the key-switch
+/// special modulus, so relinearize/rotate require ciphertexts at most at
+/// level max_limbs - 1 — rescale or mod-switch a fresh full-level
+/// ciphertext once first (the natural first step of any computation).
 
 #include <memory>
+#include <span>
+#include <vector>
 
 #include "ckks/ciphertext.hpp"
 #include "ckks/context.hpp"
+#include "ckks/keyswitch.hpp"
 
 namespace abc::ckks {
 
@@ -32,8 +39,32 @@ class Evaluator {
   Ciphertext mul_plain(const Ciphertext& ct, const Plaintext& pt) const;
 
   /// Full ciphertext product without relinearization: (c0, c1) x (d0, d1)
-  /// -> (c0 d0, c0 d1 + c1 d0, c1 d1).
+  /// -> (c0 d0, c0 d1 + c1 d0, c1 d1). Follow with relinearize_inplace to
+  /// return to 2 components.
   Ciphertext mul(const Ciphertext& a, const Ciphertext& b) const;
+
+  /// Switches the s^2 component of a 3-component product back to s:
+  /// (c0 + ks0, c1 + ks1) with (ks0, ks1) = KeySwitch(c2, rlk). Scale and
+  /// level are unchanged; noise grows by the key-switch bound
+  /// (noise.hpp's keyswitch_noise_bound). @p scratch reuses buffers across
+  /// calls (null allocates locally).
+  void relinearize_inplace(Ciphertext& ct, const RelinKey& rlk,
+                           KeySwitchScratch* scratch = nullptr) const;
+
+  /// Rotates slots left by @p step (negative steps rotate right) using the
+  /// matching Galois key: both components pass through sigma_g in the
+  /// evaluation domain, and sigma_g(c1) is key-switched back to s.
+  Ciphertext rotate(const Ciphertext& ct, int step, const GaloisKeys& gks,
+                    KeySwitchScratch* scratch = nullptr) const;
+
+  /// Rotations by every step in @p steps from one input, decomposing the
+  /// input a single time and reusing the evaluation-domain digits across
+  /// all steps (hoisted key switching). Bit-identical to calling rotate()
+  /// per step, at a fraction of the NTT work once steps.size() > 1.
+  std::vector<Ciphertext> rotate_many(const Ciphertext& ct,
+                                      std::span<const int> steps,
+                                      const GaloisKeys& gks,
+                                      KeySwitchScratch* scratch = nullptr) const;
 
   /// Exact RNS rescale: divides by the last prime with rounding and drops
   /// the limb; scale is divided by q_last.
@@ -45,8 +76,12 @@ class Evaluator {
 
  private:
   void rescale_poly(poly::RnsPoly& p) const;
+  void decompose_c1(const Ciphertext& ct, KeySwitchScratch& scratch) const;
+  void rotate_into(const Ciphertext& ct, int step, const GaloisKeys& gks,
+                   KeySwitchScratch& scratch, Ciphertext& out) const;
 
   std::shared_ptr<const CkksContext> ctx_;
+  KeySwitcher switcher_;
 };
 
 }  // namespace abc::ckks

@@ -52,8 +52,13 @@ u32 galois_element(int step, std::size_t n) {
   const auto slots = static_cast<long long>(n / 2);
   const long long r = ((step % slots) + slots) % slots;
   ABC_CHECK_ARG(r != 0, "rotation step must be nonzero mod slots");
-  // 5^r mod 2N by square-and-multiply (2N <= 2^17, products fit u64).
-  u64 g = 1, base = 5 % two_n;
+  // 3^r mod 2N by square-and-multiply (2N <= 2^17, products fit u64).
+  // The base must match the canonical-embedding generator: the encoder
+  // places slot i at the evaluation point zeta^{3^i} (CkksDwtPlan), so
+  // sigma_{3^r} sends slot i to slot i - r — a cyclic rotation. Any other
+  // odd generator (e.g. 5 = -3^j mod 2N) would permute slots into the
+  // conjugate orbit instead of shifting them.
+  u64 g = 1, base = 3 % two_n;
   for (u64 e = static_cast<u64>(r); e != 0; e >>= 1) {
     if (e & 1) g = g * base % two_n;
     base = base * base % two_n;

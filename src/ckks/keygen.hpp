@@ -106,8 +106,10 @@ struct GaloisKeys {
   const KeySwitchKey& key_for(int step) const;
 };
 
-/// Galois group element 5^step mod 2N driving a left rotation by @p step
-/// slots. Throws when the step reduces to 0 mod N/2 (no rotation).
+/// Galois group element 3^step mod 2N driving a left rotation by @p step
+/// slots (3 is the canonical-embedding generator the encoder's slot
+/// ordering is built on, see transform/dwt.hpp). Throws when the step
+/// reduces to 0 mod N/2 (no rotation).
 u32 galois_element(int step, std::size_t n);
 
 /// Uniform-half / error PRNG domains for a key kind (serialization uses

@@ -26,6 +26,42 @@ double fresh_precision_bound_bits(const CkksParams& params,
   return -std::log2(bound);
 }
 
+double keyswitch_noise_bound(const CkksParams& params, std::size_t limbs) {
+  // Digit errors: each of the `limbs` digits contributes ext_d(c) * e_d
+  // with ext_d uniform in [0, q_d); after the division by P the canonical
+  // norm of one term is ~ tail * sigma * N * (q_d / P) / sqrt(12). The
+  // prime chain is near-uniform in magnitude, so q_d / P ~ 1.
+  const double n = static_cast<double>(params.n());
+  const double tail = 6.0;
+  const double digit_term =
+      tail * params.error_sigma * n / std::sqrt(12.0);
+  // Mod-down rounding: eps/P convolves with (1, s); with ternary s of
+  // expected weight 2N/3 that is ~ tail * sqrt(N * h / 12).
+  const double h = 2.0 * n / 3.0;
+  const double round_term = tail * std::sqrt(n * h / 12.0);
+  return static_cast<double>(limbs) * digit_term + round_term;
+}
+
+VerifyReport verify_decode(const CkksContext& ctx, const Ciphertext& ct,
+                           Decryptor& decryptor, const CkksEncoder& encoder,
+                           std::span<const std::complex<double>> expected,
+                           double bound) {
+  VerifyReport report;
+  report.bound =
+      bound > 0.0
+          ? bound
+          : slot_error_bound(
+                fresh_noise_bound(ctx.params(), EncryptMode::kPublicKey) +
+                    keyswitch_noise_bound(ctx.params(), ct.limbs()),
+                ct.scale);
+  report.max_abs_error = measured_slot_noise(ct, decryptor, encoder, expected);
+  report.ok = report.max_abs_error <= report.bound;
+  report.precision_bits = report.max_abs_error > 0.0
+                              ? -std::log2(report.max_abs_error)
+                              : 60.0;
+  return report;
+}
+
 double measured_slot_noise(const Ciphertext& ct, Decryptor& decryptor,
                            const CkksEncoder& encoder,
                            std::span<const std::complex<double>> reference) {

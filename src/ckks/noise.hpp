@@ -45,4 +45,33 @@ double measured_slot_noise(const Ciphertext& ct, Decryptor& decryptor,
                            const CkksEncoder& encoder,
                            std::span<const std::complex<double>> reference);
 
+/// Analytic high-probability bound on the canonical-embedding noise one
+/// key-switch (relinearization or rotation) adds to a level-@p limbs
+/// ciphertext, in absolute units. The accumulated error is
+/// (sum_d ext_d(c) * e_d - eps) / P with ext_d(c) ~ U[0, q_d) and
+/// |eps| <= P/2, so each digit contributes ~ sigma * N * q_d / (P * sqrt(12))
+/// after the division, plus the rounding term's s-convolution
+/// (~ sqrt(N h / 12)); see keyswitch.hpp for the construction.
+double keyswitch_noise_bound(const CkksParams& params, std::size_t limbs);
+
+/// Client-side precision verification of a server-returned ciphertext
+/// (ROADMAP "decrypt/verify"): did every slot land within @p bound of the
+/// expectation?
+struct VerifyReport {
+  bool ok = false;
+  double max_abs_error = 0.0;  // max slot deviation from expected
+  double bound = 0.0;          // the bound it was checked against
+  double precision_bits = 0.0; // -log2(max_abs_error)
+};
+
+/// Decrypts + decodes @p ct and checks each of the first expected.size()
+/// slots against @p expected within @p bound (absolute, slot domain). A
+/// non-positive bound defaults to the fresh public-key noise floor at the
+/// ciphertext's scale plus one key-switch at its level — the loosest
+/// bound a well-formed single-hop server round trip should beat.
+VerifyReport verify_decode(const CkksContext& ctx, const Ciphertext& ct,
+                           Decryptor& decryptor, const CkksEncoder& encoder,
+                           std::span<const std::complex<double>> expected,
+                           double bound = 0.0);
+
 }  // namespace abc::ckks

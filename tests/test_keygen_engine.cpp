@@ -69,10 +69,12 @@ void expect_ksk_phase_identity(const ckks::CkksContext& ctx,
 
 TEST(GaloisElement, GroupStructure) {
   const std::size_t n = 1024;
-  EXPECT_EQ(ckks::galois_element(1, n), 5u);
-  EXPECT_EQ(ckks::galois_element(2, n), 25u);
+  // Base 3: the canonical-embedding generator the encoder orders slots by
+  // (zeta^{3^i}); rotations compose with decode only on this orbit.
+  EXPECT_EQ(ckks::galois_element(1, n), 3u);
+  EXPECT_EQ(ckks::galois_element(2, n), 9u);
   // A left rotation composed with the matching right rotation is the
-  // identity automorphism: 5^r * 5^(slots-r) = 5^slots = 1 (mod 2N).
+  // identity automorphism: 3^r * 3^(slots-r) = 3^slots = 1 (mod 2N).
   const u64 fwd = ckks::galois_element(3, n);
   const u64 bwd = ckks::galois_element(-3, n);
   EXPECT_EQ(fwd * bwd % (2 * n), 1u);

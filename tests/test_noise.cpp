@@ -7,6 +7,7 @@
 #include <random>
 
 #include "ckks/encryptor.hpp"
+#include "ckks/evaluator.hpp"
 #include "ckks/noise.hpp"
 
 namespace abc::ckks {
@@ -77,6 +78,41 @@ TEST(Noise, BoundScalesWithDegreeAndSigma) {
   noisy.error_sigma = 6.4;
   EXPECT_LT(fresh_noise_bound(small, EncryptMode::kPublicKey),
             fresh_noise_bound(noisy, EncryptMode::kPublicKey));
+}
+
+TEST(Noise, KeySwitchBoundHoldsForRotatedCiphertexts) {
+  // Post-keyswitch coverage: a rotate-there-and-back pair adds two
+  // key-switch noise terms on top of the fresh noise; the combined
+  // analytic bound must hold and stay non-vacuous.
+  const CkksParams params = CkksParams::test_small(10, 3);
+  auto ctx = CkksContext::create(params);
+  CkksEncoder encoder(ctx);
+  KeyGenerator keygen(ctx);
+  const SecretKey sk = keygen.secret_key();
+  Encryptor enc(ctx, keygen.public_key(sk));
+  Decryptor dec(ctx, sk);
+  Evaluator eval(ctx);
+  const std::vector<int> steps = {5, -5};
+  const GaloisKeys gks = keygen.galois_keys(sk, steps);
+
+  std::mt19937_64 rng(99);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  std::vector<std::complex<double>> msg(encoder.slots());
+  for (auto& z : msg) z = {dist(rng), dist(rng)};
+
+  const Ciphertext ct = enc.encrypt(encoder.encode(msg, 2));
+  const Ciphertext back = eval.rotate(eval.rotate(ct, 5, gks), -5, gks);
+  const double measured = measured_slot_noise(back, dec, encoder, msg);
+  const double bound = slot_error_bound(
+      fresh_noise_bound(params, EncryptMode::kPublicKey) +
+          2.0 * keyswitch_noise_bound(params, 2),
+      params.scale());
+  EXPECT_LT(measured, bound) << "bound violated";
+  EXPECT_GT(measured, bound / 5000.0) << "bound is vacuous";
+
+  // The bound grows with the digit count (more accumulation terms).
+  EXPECT_LT(keyswitch_noise_bound(params, 1),
+            keyswitch_noise_bound(params, 2));
 }
 
 TEST(Noise, AdditionAddsNoiseLinearly) {
