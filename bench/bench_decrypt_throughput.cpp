@@ -1,0 +1,132 @@
+// Client decrypt/verify throughput: wall time of batched decode+decrypt
+// and batched verify_decode under the ScalarBackend vs. the
+// ThreadPoolBackend at increasing worker counts — the download half of
+// the client round trip (Fig. 2a "Decoding + Decrypt"), mirroring
+// bench_engine_throughput on the upload half.
+//
+// A serving client decrypts every response it receives, so this path runs
+// as often as encryption; the verify mode adds the per-slot precision
+// check a client gates on before trusting a server result.
+//
+// Usage: bench_decrypt_throughput [log_n] [limbs] [batch]
+//                                 [--json out.json] [--reps N] [--quick]
+//   defaults: log_n=13, limbs=8, batch=32 (keeps the run in seconds;
+//   pass 16 24 for the paper's bootstrappable point). --quick drops to
+//   minimal reps for the CI smoke; --json emits the bench_util.hpp schema.
+
+#include <complex>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <random>
+#include <vector>
+
+#include "backend/scalar_backend.hpp"
+#include "backend/thread_pool_backend.hpp"
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "engine/batch_decryptor.hpp"
+#include "engine/batch_encryptor.hpp"
+
+namespace {
+
+using namespace abc;
+
+struct DecryptTimes {
+  double decrypt_s = 0.0;  // decrypt_decode_batch
+  double verify_s = 0.0;   // verify_batch
+};
+
+DecryptTimes measure(const ckks::CkksParams& params,
+                     std::shared_ptr<backend::PolyBackend> backend,
+                     std::size_t batch, int reps) {
+  auto ctx = ckks::CkksContext::create(params, std::move(backend));
+  ckks::KeyGenerator keygen(ctx);
+  const ckks::SecretKey sk = keygen.secret_key();
+
+  std::mt19937_64 rng(42);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  std::vector<std::vector<std::complex<double>>> msgs(batch);
+  for (auto& m : msgs) {
+    m.resize(ctx->slots());
+    for (auto& z : m) z = {dist(rng), dist(rng)};
+  }
+  engine::BatchEncryptor enc(ctx, sk);
+  const std::vector<ckks::Ciphertext> cts =
+      enc.encrypt_batch(msgs, ctx->max_limbs());
+
+  engine::BatchDecryptor dec(ctx, sk);
+  DecryptTimes t;
+  t.decrypt_s = bench::time_best_of(
+      reps, [&] { (void)dec.decrypt_decode_batch(cts); });
+  t.verify_s =
+      bench::time_best_of(reps, [&] { (void)dec.verify_batch(cts, msgs); });
+  return t;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
+  auto positional = [&](std::size_t i, int def) {
+    return i < args.positional.size() ? std::atoi(args.positional[i].c_str())
+                                      : def;
+  };
+  const int log_n = positional(0, 13);
+  const auto limbs = static_cast<std::size_t>(positional(1, 8));
+  const auto batch = static_cast<std::size_t>(positional(2, 32));
+  const int reps = args.reps > 0 ? args.reps : (args.quick ? 1 : 3);
+
+  std::puts("ABC-FHE reproduction :: client decrypt/verify throughput\n");
+  std::printf("Workload: N = 2^%d, %zu limbs; batch of %zu ciphertexts, "
+              "decode+decrypt and verify_decode.\n\n",
+              log_n, limbs, batch);
+
+  ckks::CkksParams params = ckks::CkksParams::sweep_point(log_n, limbs);
+  params.validate();
+
+  bench::JsonReporter rep("bench_decrypt_throughput");
+  rep.add_metric("meta/log_n", "value", log_n);
+  rep.add_metric("meta/limbs", "value", static_cast<double>(limbs));
+  rep.add_metric("meta/batch", "value", static_cast<double>(batch));
+
+  TextTable table("Batched decrypt/verify wall time (" +
+                  std::to_string(batch) + " ciphertexts)");
+  table.set_header({"Backend", "Workers", "decrypt+decode", "verify", "ct/s",
+                    "speed-up"});
+
+  const DecryptTimes scalar = measure(
+      params, std::make_shared<backend::ScalarBackend>(), batch, reps);
+  rep.add_timing("decrypt/scalar/decode_decrypt", scalar.decrypt_s,
+                 static_cast<double>(batch));
+  rep.add_timing("decrypt/scalar/verify", scalar.verify_s,
+                 static_cast<double>(batch));
+  table.add_row({"scalar", "1", bench::fmt_time(scalar.decrypt_s),
+                 bench::fmt_time(scalar.verify_s),
+                 TextTable::fmt(static_cast<double>(batch) / scalar.decrypt_s,
+                                1),
+                 "1.00x"});
+
+  for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+    const DecryptTimes t = measure(
+        params, std::make_shared<backend::ThreadPoolBackend>(threads), batch,
+        reps);
+    const std::string prefix =
+        "decrypt/thread_pool/" + std::to_string(threads);
+    rep.add_timing(prefix + "/decode_decrypt", t.decrypt_s,
+                   static_cast<double>(batch));
+    rep.add_timing(prefix + "/verify", t.verify_s,
+                   static_cast<double>(batch));
+    table.add_row({"thread_pool", std::to_string(threads),
+                   bench::fmt_time(t.decrypt_s), bench::fmt_time(t.verify_s),
+                   TextTable::fmt(static_cast<double>(batch) / t.decrypt_s, 1),
+                   TextTable::fmt(scalar.decrypt_s / t.decrypt_s, 2) + "x"});
+  }
+  table.print();
+
+  if (!args.json_path.empty()) {
+    if (!rep.write(args.json_path)) return 1;
+    std::printf("\nJSON results written to %s\n", args.json_path.c_str());
+  }
+  return 0;
+}

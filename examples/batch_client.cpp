@@ -1,25 +1,40 @@
-// Batch client: a client-side workload encrypting a batch of telemetry
-// vectors for upload — the serving scenario behind the ROADMAP north star.
+// Batch client: the full client round trip behind the ROADMAP north star,
+// driven through the engine::ClientSession pipeline facade. One session
+// object owns the warm context and all three batch engines and walks the
+// paper's client lifecycle end to end:
+//
+//   1. keygen + seed-compressed key bundle (what a server receives once)
+//   2. batch encode+encrypt -> "ABCB" ciphertext-batch upload envelope
+//   3. (the server round trip -- echoed here)
+//   4. batch decode+decrypt + verify_decode on the returned envelope
+//
 // Uses the symmetric seeded mode (1 NTT pass per limb, seed-compressed c1,
-// the paper's 27.0 MOPs profile) and the ThreadPoolBackend so the batch
-// spreads across every core.
+// the paper's 27.0 MOPs profile) and the ThreadPoolBackend so every stage
+// spreads across all cores. Exits nonzero if any slot misses its
+// precision bound — the same check CI's example smoke gates on.
 //
 // Build & run:
 //   cmake -B build && cmake --build build -j
 //   ./build/batch_client
 
 #include <chrono>
+#include <complex>
 #include <cstdio>
 #include <random>
 #include <vector>
 
 #include "backend/thread_pool_backend.hpp"
-#include "ckks/decryptor.hpp"
-#include "engine/batch_encryptor.hpp"
+#include "engine/client_session.hpp"
 
 int main() {
   using namespace abc;
-  std::puts("== ABC-FHE batch client ==\n");
+  using Clock = std::chrono::steady_clock;
+  auto ms_since = [](Clock::time_point t0) {
+    return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+        .count();
+  };
+
+  std::puts("== ABC-FHE batch client (full round-trip session) ==\n");
 
   // 1. Moderate parameters keep the demo snappy; swap in
   //    CkksParams::bootstrappable() for the paper's N = 2^16 set.
@@ -32,49 +47,62 @@ int main() {
               params.log_n, params.num_limbs, ctx->backend().name(),
               ctx->backend().workers());
 
-  // 2. Keys and engine (symmetric seeded: only c0 ships per ciphertext).
-  ckks::KeyGenerator keygen(ctx);
-  const ckks::SecretKey sk = keygen.secret_key();
-  engine::BatchEncryptor eng(ctx, sk);
+  // 2. Session setup: keys in the constructor, switching-key bundle on
+  //    first use — both costs paid once for the session's lifetime.
+  engine::SessionConfig cfg;
+  cfg.rotations = {1, 2, 4, 8};
+  auto t0 = Clock::now();
+  engine::ClientSession session(ctx, cfg);
+  const double keygen_ms = ms_since(t0);
+  t0 = Clock::now();
+  const engine::KeyBundle& keys = session.key_bundle();
+  std::printf("Session sk/pk in %.1f ms; switching keys generated + "
+              "serialized in %.1f ms — seed-compressed key upload "
+              "(pk + relin + %zu Galois) = %.2f MB\n\n",
+              keygen_ms, ms_since(t0), keys.galois_keys.size(),
+              static_cast<double>(keys.total_bytes()) / 1e6);
 
   // 3. A batch of telemetry vectors, one message per "sensor".
   const std::size_t batch = 24;
   std::mt19937_64 rng(123);
   std::uniform_real_distribution<double> dist(-1.0, 1.0);
-  std::vector<std::vector<double>> readings(batch);
+  std::vector<std::vector<std::complex<double>>> readings(batch);
   for (auto& r : readings) {
     r.resize(ctx->slots());
-    for (double& x : r) x = dist(rng);
+    for (auto& x : r) x = {dist(rng), 0.0};
   }
 
-  // 4. Encode + encrypt the whole batch across the pool.
-  const auto t0 = std::chrono::steady_clock::now();
-  const auto cts = eng.encrypt_real_batch(readings, params.num_limbs);
-  const auto t1 = std::chrono::steady_clock::now();
-  const double ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
-  std::printf("Encrypted %zu messages in %.1f ms (%.1f msgs/s)\n", batch, ms,
-              1e3 * static_cast<double>(batch) / ms);
+  // 4. Upload path: encode + encrypt the whole batch across the pool and
+  //    pack it into one ciphertext-batch envelope.
+  t0 = Clock::now();
+  const std::vector<u8> envelope =
+      session.upload(readings, params.num_limbs);
+  const double up_ms = ms_since(t0);
+  std::printf("Encrypted + packed %zu messages in %.1f ms (%.1f msgs/s), "
+              "upload %.2f MB (c1 seed-compressed to 8 bytes/ct)\n",
+              batch, up_ms, 1e3 * static_cast<double>(batch) / up_ms,
+              static_cast<double>(envelope.size()) / 1e6);
 
-  double shipped = 0.0;
-  for (const auto& ct : cts) shipped += ct.packed_bytes(params.prime_bits);
-  std::printf("Upload size: %.2f MB total (%.2f MB/ct, c1 seed-compressed "
-              "to 8 bytes)\n\n",
-              shipped / 1e6, shipped / 1e6 / static_cast<double>(batch));
+  // 5. The server would evaluate and return an envelope of the same shape;
+  //    this demo round-trips the upload itself, so the expected slot
+  //    values are the original readings.
+  const std::vector<u8>& returned = envelope;
 
-  // 5. Spot-check: decrypt a few and compare against the readings.
-  ckks::Decryptor dec(ctx, sk);
-  ckks::CkksEncoder encoder(ctx);
-  double worst_bits = 1e300;
-  for (std::size_t i : {std::size_t{0}, batch / 2, batch - 1}) {
-    const auto decoded = encoder.decode(dec.decrypt(cts[i]));
-    std::vector<std::complex<double>> want(readings[i].size());
-    for (std::size_t j = 0; j < want.size(); ++j) want[j] = {readings[i][j], 0.0};
-    const ckks::PrecisionReport r = ckks::compare_slots(want, decoded);
-    worst_bits = std::min(worst_bits, r.precision_bits);
-    std::printf("message %2zu: max error %.3g (%.1f bits)\n", i,
-                r.max_abs_error, r.precision_bits);
-  }
-  std::printf("\n%s\n", worst_bits > 10.0 ? "Batch round trip OK."
-                                          : "PRECISION LOSS — investigate!");
-  return worst_bits > 10.0 ? 0 : 1;
+  // 6. Download path: parse + batched decode/decrypt + per-slot precision
+  //    verification, all in one call on the warm engines.
+  t0 = Clock::now();
+  const engine::BatchVerifyReport report =
+      session.verify_download(returned, readings);
+  const double down_ms = ms_since(t0);
+  std::printf("Decrypted + verified %zu ciphertexts in %.1f ms "
+              "(%.1f msgs/s)\n\n",
+              batch, down_ms, 1e3 * static_cast<double>(batch) / down_ms);
+
+  std::printf("Verify report: %zu/%zu slot vectors within bound, worst "
+              "error %.3g (%.1f bits)\n",
+              report.passed, report.passed + report.failed,
+              report.worst_abs_error, report.worst_precision_bits);
+  std::printf("\n%s\n", report.ok ? "Full round-trip session OK."
+                                  : "PRECISION LOSS — investigate!");
+  return report.ok ? 0 : 1;
 }

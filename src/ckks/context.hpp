@@ -5,6 +5,7 @@
 /// (hardware-friendly primes from the paper's selection methodology), NTT
 /// tables per limb, and the canonical-embedding DWT plan.
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
@@ -43,6 +44,32 @@ class CkksContext {
     return poly::RnsPoly(poly_ctx_, limbs, domain);
   }
 
+  /// Reserves @p count consecutive values from the context-wide PRNG
+  /// stream-id counter. Every encryptor and batch engine bound to this
+  /// context draws its counter blocks here, so two engines sharing a
+  /// context can never hand out the same id — per-instance counters would
+  /// both start at 0 and replay each other's keystreams (see
+  /// encryptor.hpp for why that leaks). The counter is per-context, not
+  /// process-global, so a fresh context replays the same deterministic id
+  /// sequence — the property every thread-count-invariance test relies on.
+  /// Uniqueness across *context lifetimes* (process restarts re-deriving
+  /// the same seed) remains the caller's responsibility.
+  u64 reserve_stream_ids(u64 count) const noexcept {
+    return stream_counter_.fetch_add(count, std::memory_order_relaxed);
+  }
+
+  /// Reserves @p count consecutive secret-key ids. Kept separate from the
+  /// stream counter because secret ids live on the other axis — they salt
+  /// the upper bits of every derived stream id and have a 16-bit budget
+  /// (ksk_base_stream_id) — so encryption traffic must not burn through
+  /// them. Context-wide for the same reason as the stream counter: two
+  /// KeyGenerators (or ClientSessions) sharing a context draw *distinct*
+  /// secrets instead of silently regenerating the same one for what the
+  /// caller intends to be different users.
+  u64 reserve_secret_ids(u64 count) const noexcept {
+    return secret_counter_.fetch_add(count, std::memory_order_relaxed);
+  }
+
   CkksContext(const CkksParams& params,
               std::shared_ptr<backend::PolyBackend> backend);  // use create()
 
@@ -51,6 +78,8 @@ class CkksContext {
   std::vector<u64> primes_;
   std::shared_ptr<const poly::PolyContext> poly_ctx_;
   xf::CkksDwtPlan dwt_;
+  mutable std::atomic<u64> stream_counter_{0};
+  mutable std::atomic<u64> secret_counter_{0};
 };
 
 }  // namespace abc::ckks

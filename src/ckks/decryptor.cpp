@@ -2,25 +2,41 @@
 
 namespace abc::ckks {
 
+DecryptScratch::DecryptScratch(const CkksContext& ctx)
+    : s_(ctx.make_poly(1, poly::Domain::kEval)),
+      s2_(ctx.make_poly(1, poly::Domain::kEval)) {}
+
 Decryptor::Decryptor(std::shared_ptr<const CkksContext> ctx,
                      const SecretKey& sk)
-    : ctx_(std::move(ctx)), sk_eval_(sk.s) {
-  ABC_CHECK_ARG(ctx_ != nullptr, "null context");
-}
+    : ctx_(std::move(ctx)), sk_eval_(sk.s), scratch_([this] {
+        ABC_CHECK_ARG(ctx_ != nullptr, "null context");
+        return DecryptScratch(*ctx_);
+      }()) {}
 
 Plaintext Decryptor::decrypt(const Ciphertext& ct) {
+  return decrypt_with(ct, scratch_);
+}
+
+Plaintext Decryptor::decrypt_with(const Ciphertext& ct,
+                                  DecryptScratch& s) const {
   ABC_CHECK_ARG(ct.size() == 2 || ct.size() == 3,
                 "ciphertext must have 2 or 3 components");
   const std::size_t limbs = ct.limbs();
-  const poly::RnsPoly s = sk_eval_.prefix_copy(limbs);
+  ABC_CHECK_ARG(limbs >= 1 && limbs <= sk_eval_.limbs(),
+                "ciphertext level exceeds the key's limb count");
+  for (std::size_t c = 1; c < ct.size(); ++c) {
+    ABC_CHECK_ARG(ct.c(c).limbs() == limbs,
+                  "ciphertext components disagree on the level");
+  }
+  s.s_.assign_prefix(sk_eval_, limbs);
 
-  // phase = c0 + c1*s (+ c2*s^2)
+  // phase = c0 + c1*s (+ c2*s^2); the copy of c0 is the returned plaintext.
   poly::RnsPoly phase = ct.c(0);
-  phase.fma_inplace(ct.c(1), s);
+  phase.fma_inplace(ct.c(1), s.s_);
   if (ct.size() == 3) {
-    poly::RnsPoly s2 = s;
-    s2.mul_inplace(s);
-    phase.fma_inplace(ct.c(2), s2);
+    s.s2_.assign_prefix(s.s_, limbs);
+    s.s2_.mul_inplace(s.s_);
+    phase.fma_inplace(ct.c(2), s.s2_);
   }
   phase.to_coeff();
   return Plaintext{std::move(phase), ct.scale};

@@ -5,6 +5,10 @@
 /// polynomial c0 + c1*s (+ c2*s^2 for unrelinearized products) is
 /// accumulated in the evaluation domain, INTT'd per limb, and handed to
 /// the decoder (CRT combine + FFT).
+///
+/// Concurrency model mirrors the encryptor: decrypt() reuses an internal
+/// scratch and is not reentrant; parallel callers use decrypt_with() with
+/// one DecryptScratch per worker (see engine/batch_decryptor.hpp).
 
 #include <memory>
 
@@ -14,17 +18,39 @@
 
 namespace abc::ckks {
 
+/// Reusable per-worker buffers for the decryption hot path: the secret's
+/// level prefix and (for 3-component ciphertexts) its square. After the
+/// first decryption at a given level the hot path allocates only the
+/// plaintext polynomial it returns.
+class DecryptScratch {
+ public:
+  explicit DecryptScratch(const CkksContext& ctx);
+
+ private:
+  friend class Decryptor;
+  poly::RnsPoly s_;   // secret-key prefix at the ciphertext level
+  poly::RnsPoly s2_;  // s^2 for unrelinearized 3-component inputs
+};
+
 class Decryptor {
  public:
   Decryptor(std::shared_ptr<const CkksContext> ctx, const SecretKey& sk);
 
   /// Decrypts 2- or 3-component ciphertexts; returns a coefficient-domain
-  /// plaintext carrying the ciphertext scale.
+  /// plaintext carrying the ciphertext scale. Not reentrant (uses the
+  /// internal scratch).
   Plaintext decrypt(const Ciphertext& ct);
+
+  /// Decryption with external scratch. Thread-safe: may run concurrently
+  /// with any other decrypt_with() call as long as each thread owns its
+  /// scratch. Decryption consumes no PRNG stream, so the result is
+  /// bit-identical for any backend, worker count, and call order.
+  Plaintext decrypt_with(const Ciphertext& ct, DecryptScratch& scratch) const;
 
  private:
   std::shared_ptr<const CkksContext> ctx_;
   poly::RnsPoly sk_eval_;
+  DecryptScratch scratch_;
 };
 
 }  // namespace abc::ckks

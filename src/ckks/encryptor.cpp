@@ -43,8 +43,7 @@ Encryptor::Encryptor(std::shared_ptr<const CkksContext> ctx,
 }
 
 Ciphertext Encryptor::encrypt(const Plaintext& pt) {
-  return encrypt_with(pt, counter_.fetch_add(1, std::memory_order_relaxed),
-                      scratch_);
+  return encrypt_with(pt, reserve_stream_ids(1), scratch_);
 }
 
 Ciphertext Encryptor::encrypt_with(const Plaintext& pt, u64 stream_id,

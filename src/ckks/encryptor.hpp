@@ -13,30 +13,31 @@
 /// The per-limb NTT-pass count is exported so the accelerator scheduler
 /// (src/core) accounts the same work the software executes.
 ///
-/// Concurrency model: the stream-id counter is atomic, each encryption's
-/// randomness is fully determined by its stream id, and the two modes draw
-/// errors from disjoint PRNG domains — so any number of threads encrypting
-/// through encrypt_with() produce independent, reproducible ciphertexts.
-/// Stream ids are additionally salted with the key's secret id (upper 32
-/// bits, mirroring ksk_base_stream_id): counters are per-instance, so two
-/// encryptors for *different* secrets both start at 0 — an unsalted
-/// shared stream would give their first ciphertexts identical (a, e)
-/// material, letting c0 differences cancel the errors and leak a linear
-/// relation in the secrets.
+/// Concurrency model: stream ids come from the *context-wide* atomic
+/// counter (CkksContext::reserve_stream_ids), each encryption's randomness
+/// is fully determined by its stream id, and the two modes draw errors
+/// from disjoint PRNG domains — so any number of threads encrypting
+/// through encrypt_with() produce independent, reproducible ciphertexts,
+/// and any number of Encryptor instances (or batch engines) sharing a
+/// context can never replay each other's streams. Stream ids are
+/// additionally salted with the key's secret id (upper 32 bits, mirroring
+/// ksk_base_stream_id): two contexts' encryptors for *different* secrets
+/// both count from 0 — an unsalted shared stream would give their first
+/// ciphertexts identical (a, e) material, letting c0 differences cancel
+/// the errors and leak a linear relation in the secrets.
 ///
-/// What the salt does NOT cover: two instances for the *same* secret (a
-/// process restart, a second component) both count from 0 and therefore
-/// replay the same streams — encrypting *different* messages under a
-/// replayed stream leaks the plaintext difference. The whole stack is
-/// deliberately deterministic from the 128-bit seed (the paper's on-chip
-/// PRNG model), so stream-id uniqueness across instance lifetimes is the
-/// caller's responsibility: persist the counter, or dedicate a disjoint
-/// secret (and thereby salt) per component.
+/// What the shared counter does NOT cover: two *contexts* for the same
+/// seed and secret (a process restart, a second process) both count from
+/// 0 and therefore replay the same streams — encrypting *different*
+/// messages under a replayed stream leaks the plaintext difference. The
+/// whole stack is deliberately deterministic from the 128-bit seed (the
+/// paper's on-chip PRNG model), so stream-id uniqueness across context
+/// lifetimes is the caller's responsibility: persist the counter, or
+/// dedicate a disjoint secret (and thereby salt) per component.
 /// encrypt() itself reuses an internal scratch buffer and is therefore not
 /// reentrant; parallel callers use one EncryptScratch per worker (see
 /// engine/batch_encryptor.hpp).
 
-#include <atomic>
 #include <memory>
 
 #include "ckks/ciphertext.hpp"
@@ -87,8 +88,10 @@ class Encryptor {
 
   /// Reserves @p count consecutive stream ids for a batch; each id passed
   /// to encrypt_with() yields an independent, reproducible ciphertext.
-  u64 reserve_stream_ids(u64 count) {
-    return counter_.fetch_add(count, std::memory_order_relaxed);
+  /// Forwards to the context-wide counter, so every encryptor and engine
+  /// on this context draws from one id sequence and can never collide.
+  u64 reserve_stream_ids(u64 count) const {
+    return ctx_->reserve_stream_ids(count);
   }
 
   /// Deterministic encryption under an explicit stream id (a counter
@@ -113,7 +116,6 @@ class Encryptor {
   std::unique_ptr<poly::RnsPoly> sk_eval_;
   u64 secret_salt_ = 0;  // SecretKey::stream_id (or the pk's embedded id)
   EncryptScratch scratch_;
-  std::atomic<u64> counter_{0};
 };
 
 }  // namespace abc::ckks

@@ -134,7 +134,10 @@ KeyGenerator::KeyGenerator(std::shared_ptr<const CkksContext> ctx)
 }
 
 SecretKey KeyGenerator::secret_key() {
-  const u64 id = sk_counter_++;
+  // Context-wide id: generators sharing a context draw distinct secrets
+  // (two intended-to-be-different users can never end up with the same
+  // key because both counters started at 0).
+  const u64 id = ctx_->reserve_secret_ids(1);
   poly::RnsPoly s = ctx_->make_poly(ctx_->max_limbs(), poly::Domain::kCoeff);
   fill_ternary_coeff(*ctx_, s, PrngDomain::kSecretKey, id);
   s.to_eval();

@@ -177,7 +177,11 @@ class KeyGenerator {
                                      const poly::RnsPoly& s_coeff, u32 elt);
 
   std::shared_ptr<const CkksContext> ctx_;
-  u64 sk_counter_ = 0;
+  // Secret ids come from the context-wide counter (reserve_secret_ids);
+  // the derived-key counters below stay per-instance — their streams are
+  // salted by the secret id, so instance collisions regenerate the
+  // *identical* key (harmless), and the serial engine-vs-generator
+  // bit-identity tests rely on fresh instances counting from 0.
   u64 pk_counter_ = 0;
   u64 ksk_counter_ = 0;  // each switching key reserves `digits` ids
 };

@@ -42,36 +42,68 @@ double keyswitch_noise_bound(const CkksParams& params, std::size_t limbs) {
   return static_cast<double>(limbs) * digit_term + round_term;
 }
 
-VerifyReport verify_decode(const CkksContext& ctx, const Ciphertext& ct,
-                           Decryptor& decryptor, const CkksEncoder& encoder,
-                           std::span<const std::complex<double>> expected,
-                           double bound) {
-  VerifyReport report;
-  report.bound =
-      bound > 0.0
-          ? bound
-          : slot_error_bound(
-                fresh_noise_bound(ctx.params(), EncryptMode::kPublicKey) +
-                    keyswitch_noise_bound(ctx.params(), ct.limbs()),
-                ct.scale);
-  report.max_abs_error = measured_slot_noise(ct, decryptor, encoder, expected);
-  report.ok = report.max_abs_error <= report.bound;
-  report.precision_bits = report.max_abs_error > 0.0
-                              ? -std::log2(report.max_abs_error)
-                              : 60.0;
-  return report;
+namespace {
+
+double default_verify_bound(const CkksContext& ctx, const Ciphertext& ct) {
+  return slot_error_bound(
+      fresh_noise_bound(ctx.params(), EncryptMode::kPublicKey) +
+          keyswitch_noise_bound(ctx.params(), ct.limbs()),
+      ct.scale);
 }
 
-double measured_slot_noise(const Ciphertext& ct, Decryptor& decryptor,
-                           const CkksEncoder& encoder,
-                           std::span<const std::complex<double>> reference) {
-  const Plaintext pt = decryptor.decrypt(ct);
-  const auto decoded = encoder.decode(pt);
+double max_slot_error(std::span<const std::complex<double>> decoded,
+                      std::span<const std::complex<double>> reference) {
+  ABC_CHECK_ARG(reference.size() <= decoded.size(),
+                "more expected slots than the ciphertext decodes to");
   double max_err = 0.0;
   for (std::size_t i = 0; i < reference.size(); ++i) {
     max_err = std::max(max_err, std::abs(decoded[i] - reference[i]));
   }
   return max_err;
+}
+
+VerifyReport fold_report(double bound, double max_abs_error) {
+  VerifyReport report;
+  report.bound = bound;
+  report.max_abs_error = max_abs_error;
+  report.ok = max_abs_error <= bound;
+  report.precision_bits =
+      max_abs_error > 0.0 ? -std::log2(max_abs_error) : 60.0;
+  return report;
+}
+
+}  // namespace
+
+VerifyReport verify_decode(const CkksContext& ctx, const Ciphertext& ct,
+                           Decryptor& decryptor, const CkksEncoder& encoder,
+                           std::span<const std::complex<double>> expected,
+                           double bound) {
+  return fold_report(bound > 0.0 ? bound : default_verify_bound(ctx, ct),
+                     measured_slot_noise(ct, decryptor, encoder, expected));
+}
+
+VerifyReport verify_decode(const CkksContext& ctx, const Ciphertext& ct,
+                           const Decryptor& decryptor,
+                           const CkksEncoder& encoder,
+                           std::span<const std::complex<double>> expected,
+                           double bound, DecryptScratch& scratch) {
+  return fold_report(
+      bound > 0.0 ? bound : default_verify_bound(ctx, ct),
+      measured_slot_noise(ct, decryptor, encoder, expected, scratch));
+}
+
+double measured_slot_noise(const Ciphertext& ct, Decryptor& decryptor,
+                           const CkksEncoder& encoder,
+                           std::span<const std::complex<double>> reference) {
+  return max_slot_error(encoder.decode(decryptor.decrypt(ct)), reference);
+}
+
+double measured_slot_noise(const Ciphertext& ct, const Decryptor& decryptor,
+                           const CkksEncoder& encoder,
+                           std::span<const std::complex<double>> reference,
+                           DecryptScratch& scratch) {
+  return max_slot_error(encoder.decode(decryptor.decrypt_with(ct, scratch)),
+                        reference);
 }
 
 }  // namespace abc::ckks

@@ -9,8 +9,9 @@
 namespace abc::ckks {
 namespace {
 
-constexpr u32 kMagic = 0x41424346;     // "ABCF": ciphertexts
-constexpr u32 kKeyMagic = 0x4142434b;  // "ABCK": key material
+constexpr u32 kMagic = 0x41424346;      // "ABCF": ciphertexts
+constexpr u32 kKeyMagic = 0x4142434b;   // "ABCK": key material
+constexpr u32 kBatchMagic = 0x41424342; // "ABCB": ciphertext batches
 
 // Key headers are fixed-width: magic(32) bits(8) kind(8) compressed(8)
 // limbs(16) log_n(8) galois_elt(32) stream_id(32+32) checksum(32)
@@ -210,6 +211,76 @@ Ciphertext deserialize_ciphertext(
     ct.components.push_back(std::move(p));
   }
   return ct;
+}
+
+std::vector<u8> serialize_ciphertext_batch(std::span<const Ciphertext> cts,
+                                           int bits_per_coeff) {
+  // Byte-aligned container format (magic, count, then per item a 32-bit
+  // length + the serialize_ciphertext frame), little-endian. Frames stay
+  // byte-aligned so a receiver can hand each one to
+  // deserialize_ciphertext without re-packing. Frames are independent, so
+  // packing fans out across the context's backend; concatenation stays
+  // serial and in input order.
+  std::vector<std::vector<u8>> frames(cts.size());
+  if (!cts.empty()) {
+    cts.front().c(0).context().backend().parallel_for(
+        cts.size(), [&](std::size_t i, std::size_t) {
+          frames[i] = serialize_ciphertext(cts[i], bits_per_coeff);
+        });
+  }
+  std::vector<u8> out;
+  const auto put_u32 = [&out](u64 v) {
+    ABC_CHECK_ARG((v >> 32) == 0, "batch field exceeds 32 bits");
+    for (int b = 0; b < 4; ++b) out.push_back(static_cast<u8>(v >> (8 * b)));
+  };
+  put_u32(kBatchMagic);
+  put_u32(cts.size());
+  for (const std::vector<u8>& frame : frames) {
+    put_u32(frame.size());
+    out.insert(out.end(), frame.begin(), frame.end());
+  }
+  return out;
+}
+
+std::vector<Ciphertext> deserialize_ciphertext_batch(
+    const std::shared_ptr<const CkksContext>& ctx,
+    std::span<const u8> bytes) {
+  ABC_CHECK_ARG(ctx != nullptr, "null context");
+  std::size_t pos = 0;
+  const auto get_u32 = [&bytes, &pos]() -> u64 {
+    ABC_CHECK_ARG(pos + 4 <= bytes.size(), "batch envelope truncated");
+    u64 v = 0;
+    for (int b = 0; b < 4; ++b) {
+      v |= static_cast<u64>(bytes[pos++]) << (8 * b);
+    }
+    return v;
+  };
+  ABC_CHECK_ARG(get_u32() == kBatchMagic, "bad batch magic");
+  const u64 count = get_u32();
+  // Every frame needs at least its 4-byte length prefix, so an untrusted
+  // count beyond that is a truncated/corrupt envelope — reject it before
+  // reserving attacker-controlled amounts of memory.
+  ABC_CHECK_ARG(count <= (bytes.size() - pos) / 4,
+                "batch envelope truncated");
+  // Cheap serial pre-scan of the frame table, then the per-frame work
+  // (bit-unpacking every residue + regenerating compressed c1 halves)
+  // fans out across the backend — frames are independent and land in
+  // input order, so the result is bit-identical at any worker count.
+  std::vector<std::span<const u8>> frames;
+  frames.reserve(count);
+  for (u64 i = 0; i < count; ++i) {
+    const u64 length = get_u32();
+    ABC_CHECK_ARG(pos + length <= bytes.size(), "batch envelope truncated");
+    frames.push_back(bytes.subspan(pos, length));
+    pos += length;
+  }
+  ABC_CHECK_ARG(pos == bytes.size(),
+                "trailing bytes after the last batch frame");
+  std::vector<Ciphertext> out(count);
+  ctx->backend().parallel_for(count, [&](std::size_t i, std::size_t) {
+    out[i] = deserialize_ciphertext(ctx, frames[i]);
+  });
+  return out;
 }
 
 namespace {

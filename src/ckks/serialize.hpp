@@ -78,6 +78,21 @@ Ciphertext deserialize_ciphertext(
     const std::shared_ptr<const CkksContext>& ctx,
     std::span<const u8> bytes);
 
+/// Serializes a batch of ciphertexts into one upload/download envelope
+/// ("ABCB" magic): a count header followed by length-prefixed
+/// serialize_ciphertext frames, so items may mix levels, component counts
+/// and compression. This is the wire unit a ClientSession ships per
+/// request and a server returns per response — one envelope per round
+/// trip instead of one transport message per ciphertext.
+std::vector<u8> serialize_ciphertext_batch(std::span<const Ciphertext> cts,
+                                           int bits_per_coeff = 44);
+
+/// Reconstructs a batch envelope in input order. Throws InvalidArgument
+/// on a bad magic, a truncated frame, or trailing bytes past the last
+/// frame (a length-prefix stream that does not add up is corrupt).
+std::vector<Ciphertext> deserialize_ciphertext_batch(
+    const std::shared_ptr<const CkksContext>& ctx, std::span<const u8> bytes);
+
 // -- key material -----------------------------------------------------------
 
 /// Serializes a key-switching key. Compressed form ships the b halves plus

@@ -1,0 +1,68 @@
+#include "engine/batch_decryptor.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "common/check.hpp"
+
+namespace abc::engine {
+
+BatchDecryptor::BatchDecryptor(std::shared_ptr<const ckks::CkksContext> ctx,
+                               const ckks::SecretKey& sk)
+    : core_(ctx),
+      encoder_(ctx),
+      decryptor_(std::move(ctx), sk),
+      scratch_(core_.ctx()) {}
+
+std::vector<ckks::Plaintext> BatchDecryptor::decrypt_batch(
+    std::span<const ckks::Ciphertext> cts) {
+  // Plaintext is not default-constructible (RnsPoly carries its context),
+  // so stage the parallel writes through optionals and unwrap in order.
+  std::vector<std::optional<ckks::Plaintext>> staged(cts.size());
+  core_.run(cts.size(), [&](std::size_t i, std::size_t worker) {
+    staged[i] = decryptor_.decrypt_with(cts[i], scratch_.at(worker));
+  });
+  std::vector<ckks::Plaintext> out;
+  out.reserve(cts.size());
+  for (auto& pt : staged) out.push_back(std::move(*pt));
+  return out;
+}
+
+std::vector<std::vector<std::complex<double>>>
+BatchDecryptor::decrypt_decode_batch(std::span<const ckks::Ciphertext> cts) {
+  std::vector<std::vector<std::complex<double>>> out(cts.size());
+  core_.run(cts.size(), [&](std::size_t i, std::size_t worker) {
+    out[i] =
+        encoder_.decode(decryptor_.decrypt_with(cts[i], scratch_.at(worker)));
+  });
+  return out;
+}
+
+BatchVerifyReport BatchDecryptor::verify_batch(
+    std::span<const ckks::Ciphertext> cts,
+    std::span<const std::vector<std::complex<double>>> expected,
+    double bound) {
+  ABC_CHECK_ARG(cts.size() == expected.size(),
+                "one expected slot vector per ciphertext");
+  BatchVerifyReport report;
+  report.items.resize(cts.size());
+  core_.run(cts.size(), [&](std::size_t i, std::size_t worker) {
+    report.items[i] =
+        ckks::verify_decode(core_.ctx(), cts[i], decryptor_, encoder_,
+                            expected[i], bound, scratch_.at(worker));
+  });
+  // Serial fold after the fan-out: aggregation order never depends on
+  // worker scheduling.
+  report.ok = true;
+  for (const ckks::VerifyReport& item : report.items) {
+    (item.ok ? report.passed : report.failed) += 1;
+    report.ok = report.ok && item.ok;
+    report.worst_abs_error =
+        std::max(report.worst_abs_error, item.max_abs_error);
+    report.worst_precision_bits =
+        std::min(report.worst_precision_bits, item.precision_bits);
+  }
+  return report;
+}
+
+}  // namespace abc::engine

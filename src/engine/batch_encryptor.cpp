@@ -1,46 +1,29 @@
 #include "engine/batch_encryptor.hpp"
 
-#include "common/check.hpp"
-
 namespace abc::engine {
-
-namespace {
-
-std::vector<ckks::EncryptScratch> make_scratch(const ckks::CkksContext& ctx) {
-  std::vector<ckks::EncryptScratch> scratch;
-  const std::size_t lanes = ctx.backend().workers();
-  scratch.reserve(lanes);
-  for (std::size_t i = 0; i < lanes; ++i) scratch.emplace_back(ctx);
-  return scratch;
-}
-
-}  // namespace
 
 BatchEncryptor::BatchEncryptor(std::shared_ptr<const ckks::CkksContext> ctx,
                                ckks::PublicKey pk)
-    : ctx_(ctx),
+    : core_(ctx),
       encoder_(ctx),
-      encryptor_(ctx, std::move(pk)),
-      scratch_(make_scratch(*ctx_)) {}
+      encryptor_(std::move(ctx), std::move(pk)),
+      scratch_(core_.ctx()) {}
 
 BatchEncryptor::BatchEncryptor(std::shared_ptr<const ckks::CkksContext> ctx,
                                const ckks::SecretKey& sk)
-    : ctx_(ctx),
+    : core_(ctx),
       encoder_(ctx),
-      encryptor_(ctx, sk),
-      scratch_(make_scratch(*ctx_)) {}
+      encryptor_(std::move(ctx), sk),
+      scratch_(core_.ctx()) {}
 
 std::vector<ckks::Ciphertext> BatchEncryptor::run(
     std::size_t count,
     const std::function<ckks::Ciphertext(std::size_t, ckks::EncryptScratch&,
                                          u64)>& item) {
   std::vector<ckks::Ciphertext> out(count);
-  if (count == 0) return out;
-  const u64 base = encryptor_.reserve_stream_ids(count);
-  ctx_->backend().parallel_for(
-      count, [&](std::size_t i, std::size_t worker) {
-        out[i] = item(i, scratch_.at(worker), base + i);
-      });
+  core_.run_with_ids(count, [&](std::size_t i, std::size_t worker, u64 id) {
+    out[i] = item(i, scratch_.at(worker), id);
+  });
   return out;
 }
 

@@ -6,10 +6,12 @@
 /// stand-in for the paper's client pipeline driven at throughput (Fig. 5b):
 /// many independent encode+encrypt jobs, each one message.
 ///
-/// Determinism: the engine reserves a contiguous block of PRNG stream ids
-/// up front and assigns id base+i to batch item i, so the ciphertexts are
-/// bit-identical for any backend and any worker count — a ScalarBackend
-/// run, a 1-thread pool and an 8-thread pool all produce the same bytes.
+/// Built on engine::FanOutCore, which owns the determinism machinery: the
+/// engine reserves a contiguous block of PRNG stream ids up front and
+/// assigns id base+i to batch item i, so the ciphertexts are bit-identical
+/// for any backend and any worker count — a ScalarBackend run, a 1-thread
+/// pool and an 8-thread pool all produce the same bytes. Ids come from the
+/// context-wide counter, so engines sharing a context never alias.
 ///
 /// Each worker owns an EncryptScratch, so after warm-up the per-message
 /// hot path allocates only the ciphertext components it returns.
@@ -22,6 +24,7 @@
 
 #include "ckks/encoder.hpp"
 #include "ckks/encryptor.hpp"
+#include "engine/fan_out_core.hpp"
 
 namespace abc::engine {
 
@@ -36,11 +39,11 @@ class BatchEncryptor {
 
   ckks::EncryptMode mode() const noexcept { return encryptor_.mode(); }
   /// Lanes the underlying backend executes on (and scratch copies held).
-  std::size_t workers() const noexcept { return scratch_.size(); }
+  std::size_t workers() const noexcept { return core_.workers(); }
 
   /// The underlying encryptor: one-off encrypt() calls through it draw
-  /// from the same atomic stream-id counter as the batches, so mixing
-  /// single and batched encryption never reuses a PRNG stream.
+  /// from the same context-wide stream-id counter as the batches, so
+  /// mixing single and batched encryption never reuses a PRNG stream.
   ckks::Encryptor& encryptor() noexcept { return encryptor_; }
 
   /// Encodes messages[i] (complex slot values, up to ctx->slots() each)
@@ -65,10 +68,10 @@ class BatchEncryptor {
                                            ckks::EncryptScratch& scratch,
                                            u64 stream_id)>& item);
 
-  std::shared_ptr<const ckks::CkksContext> ctx_;
+  FanOutCore core_;
   ckks::CkksEncoder encoder_;
   ckks::Encryptor encryptor_;
-  std::vector<ckks::EncryptScratch> scratch_;  // one per backend worker
+  ScratchPool<ckks::EncryptScratch> scratch_;  // one per backend worker
 };
 
 }  // namespace abc::engine

@@ -22,21 +22,19 @@ poly::RnsPoly negated(const poly::RnsPoly& s) {
 
 BatchKeyGenerator::BatchKeyGenerator(
     std::shared_ptr<const ckks::CkksContext> ctx, const ckks::SecretKey& sk)
-    : ctx_(ctx),
+    : core_(std::move(ctx)),
       s_eval_(sk.s),
       s_neg_eval_(negated(sk.s)),
-      secret_id_(sk.stream_id) {
-  ABC_CHECK_ARG(ctx_ != nullptr, "null context");
-  const std::size_t lanes = ctx_->backend().workers();
-  scratch_.resize(lanes);
-}
+      secret_id_(sk.stream_id),
+      scratch_(core_.ctx()) {}
 
 /// Allocates the key metadata + uninitialized digit polynomials; the base
 /// stream id (secret-salted, contiguous counter block) is fixed here,
 /// before any fan-out, so scheduling cannot change stream assignment.
 ckks::KeySwitchKey BatchKeyGenerator::make_key_shell(
     ckks::KeySwitchKey::Kind kind, u32 galois_elt) {
-  const std::size_t digits = ctx_->max_limbs();
+  const ckks::CkksContext& ctx = core_.ctx();
+  const std::size_t digits = ctx.max_limbs();
   ckks::KeySwitchKey key;
   key.kind = kind;
   key.galois_elt = galois_elt;
@@ -45,8 +43,8 @@ ckks::KeySwitchKey BatchKeyGenerator::make_key_shell(
   key.b.reserve(digits);
   key.a.reserve(digits);
   for (std::size_t d = 0; d < digits; ++d) {
-    key.b.push_back(ctx_->make_poly(digits, poly::Domain::kEval));
-    key.a.push_back(ctx_->make_poly(digits, poly::Domain::kEval));
+    key.b.push_back(ctx.make_poly(digits, poly::Domain::kEval));
+    key.a.push_back(ctx.make_poly(digits, poly::Domain::kEval));
   }
   return key;
 }
@@ -55,12 +53,11 @@ ckks::KeySwitchKey BatchKeyGenerator::make_ksk_parallel(
     ckks::KeySwitchKey::Kind kind, u32 galois_elt,
     const poly::RnsPoly& s_prime_eval) {
   ckks::KeySwitchKey key = make_key_shell(kind, galois_elt);
-  ctx_->backend().parallel_for(
-      key.digits(), [&](std::size_t d, std::size_t worker) {
-        ckks::generate_ksk_digit(*ctx_, s_neg_eval_, s_prime_eval, kind,
-                                 galois_elt, key.base_stream_id + d, d,
-                                 key.b[d], key.a[d], &scratch_.at(worker));
-      });
+  core_.run(key.digits(), [&](std::size_t d, std::size_t worker) {
+    ckks::generate_ksk_digit(core_.ctx(), s_neg_eval_, s_prime_eval, kind,
+                             galois_elt, key.base_stream_id + d, d, key.b[d],
+                             key.a[d], &scratch_.at(worker));
+  });
   return key;
 }
 
@@ -75,8 +72,9 @@ ckks::GaloisKeys BatchKeyGenerator::galois_keys(std::span<const int> steps) {
   // across the pool), then every (step, digit) pair as one flat work
   // list. Counter blocks are reserved in step order before the fan-out,
   // so the result is independent of the worker count.
+  const ckks::CkksContext& ctx = core_.ctx();
   ckks::GaloisKeys out;
-  out.slots = ctx_->slots();
+  out.slots = ctx.slots();
   out.steps.assign(steps.begin(), steps.end());
   if (steps.empty()) return out;
   out.keys.reserve(steps.size());
@@ -85,24 +83,23 @@ ckks::GaloisKeys BatchKeyGenerator::galois_keys(std::span<const int> steps) {
   poly::RnsPoly s_coeff = s_eval_;
   s_coeff.to_coeff();
   for (int step : steps) {
-    const u32 elt = ckks::galois_element(step, ctx_->n());
+    const u32 elt = ckks::galois_element(step, ctx.n());
     poly::RnsPoly s_rot = s_coeff.automorphism(elt);
     s_rot.to_eval();
     rotated.push_back(std::move(s_rot));
     out.keys.push_back(
         make_key_shell(ckks::KeySwitchKey::Kind::kGalois, elt));
   }
-  const std::size_t digits = ctx_->max_limbs();
-  ctx_->backend().parallel_for(
-      steps.size() * digits, [&](std::size_t i, std::size_t worker) {
-        const std::size_t k = i / digits;
-        const std::size_t d = i % digits;
-        ckks::KeySwitchKey& key = out.keys[k];
-        ckks::generate_ksk_digit(*ctx_, s_neg_eval_, rotated[k],
-                                 ckks::KeySwitchKey::Kind::kGalois,
-                                 key.galois_elt, key.base_stream_id + d, d,
-                                 key.b[d], key.a[d], &scratch_.at(worker));
-      });
+  const std::size_t digits = ctx.max_limbs();
+  core_.run(steps.size() * digits, [&](std::size_t i, std::size_t worker) {
+    const std::size_t k = i / digits;
+    const std::size_t d = i % digits;
+    ckks::KeySwitchKey& key = out.keys[k];
+    ckks::generate_ksk_digit(ctx, s_neg_eval_, rotated[k],
+                             ckks::KeySwitchKey::Kind::kGalois,
+                             key.galois_elt, key.base_stream_id + d, d,
+                             key.b[d], key.a[d], &scratch_.at(worker));
+  });
   return out;
 }
 

@@ -9,22 +9,24 @@
 /// the on-chip seed — BTS/ARK-class servers are fed seed-compressed keys,
 /// so the client-side cost is exactly this generation pass.
 ///
-/// Determinism: every digit's randomness is fully determined by its
-/// (domain, stream id) pair, and a key reserves its contiguous id block
-/// before the fan-out — so keys are bit-identical for any backend and any
-/// worker count, the same contract BatchEncryptor gives for ciphertexts.
+/// Determinism comes from engine::FanOutCore: every digit's randomness is
+/// fully determined by its (domain, stream id) pair, and a key reserves
+/// its contiguous id block from the context-wide counter before the
+/// fan-out — so keys are bit-identical for any backend and any worker
+/// count, the same contract BatchEncryptor gives for ciphertexts, and two
+/// key engines sharing a context can never alias a stream id.
 ///
 /// Each worker owns a SamplerScratch; the per-digit hot path allocates
 /// only the key polynomials it returns — the -(a*s) term is a fused
 /// multiply-add against a hoisted -s, with no product buffer.
 
-#include <atomic>
 #include <memory>
 #include <optional>
 #include <span>
 #include <vector>
 
 #include "ckks/keygen.hpp"
+#include "engine/fan_out_core.hpp"
 
 namespace abc::engine {
 
@@ -34,7 +36,7 @@ class BatchKeyGenerator {
                     const ckks::SecretKey& sk);
 
   /// Lanes the underlying backend executes on (and scratch copies held).
-  std::size_t workers() const noexcept { return scratch_.size(); }
+  std::size_t workers() const noexcept { return core_.workers(); }
 
   /// Relinearization key (s^2 -> s); digits generated across the workers.
   ckks::RelinKey relin_key();
@@ -45,11 +47,11 @@ class BatchKeyGenerator {
   /// own worker.
   ckks::GaloisKeys galois_keys(std::span<const int> steps);
 
-  /// Reserves @p count consecutive key counter values (mirrors
-  /// Encryptor::reserve_stream_ids; the secret id is folded into the
-  /// resulting base via ckks::ksk_base_stream_id).
-  u64 reserve_stream_ids(u64 count) {
-    return counter_.fetch_add(count, std::memory_order_relaxed);
+  /// Reserves @p count consecutive key counter values from the
+  /// context-wide counter (the secret id is folded into the resulting
+  /// base via ckks::ksk_base_stream_id).
+  u64 reserve_stream_ids(u64 count) const {
+    return core_.reserve_stream_ids(count);
   }
 
  private:
@@ -59,15 +61,14 @@ class BatchKeyGenerator {
                                        u32 galois_elt,
                                        const poly::RnsPoly& s_prime_eval);
 
-  std::shared_ptr<const ckks::CkksContext> ctx_;
+  FanOutCore core_;
   poly::RnsPoly s_eval_;      // secret, evaluation form
   poly::RnsPoly s_neg_eval_;  // -s, the fma operand of every digit
   // s^2, computed on first relin_key() (a Galois-only caller never pays
   // the full-width multiply) and shared by every later call.
   std::optional<poly::RnsPoly> s2_eval_;
   u64 secret_id_;             // SecretKey::stream_id, salts every base id
-  std::vector<ckks::SamplerScratch> scratch_;  // one per backend worker
-  std::atomic<u64> counter_{0};
+  ScratchPool<ckks::SamplerScratch> scratch_;  // one per backend worker
 };
 
 }  // namespace abc::engine

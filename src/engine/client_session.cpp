@@ -1,0 +1,101 @@
+#include "engine/client_session.hpp"
+
+#include "common/check.hpp"
+
+namespace abc::engine {
+
+namespace {
+
+BatchEncryptor make_encryptor(const std::shared_ptr<const ckks::CkksContext>& ctx,
+                              const SessionConfig& config,
+                              const ckks::SecretKey& sk,
+                              const ckks::PublicKey& pk) {
+  if (config.mode == ckks::EncryptMode::kPublicKey) {
+    return BatchEncryptor(ctx, pk);
+  }
+  return BatchEncryptor(ctx, sk);
+}
+
+}  // namespace
+
+ClientSession::ClientSession(std::shared_ptr<const ckks::CkksContext> ctx,
+                             SessionConfig config)
+    : ctx_(std::move(ctx)),
+      config_(std::move(config)),
+      // KeyGenerator keeps a separate counter per derived-key type, so
+      // drawing sk and pk from two throwaway instances assigns the same
+      // stream ids a single instance would. Secret ids themselves are
+      // context-wide (reserve_secret_ids), so two sessions sharing a warm
+      // context always hold distinct secrets.
+      sk_([this] {
+        ABC_CHECK_ARG(ctx_ != nullptr, "null context");
+        ckks::KeyGenerator keygen(ctx_);
+        return keygen.secret_key();
+      }()),
+      pk_([this] {
+        ckks::KeyGenerator keygen(ctx_);
+        return keygen.public_key(sk_);
+      }()),
+      keygen_(ctx_, sk_),
+      encryptor_(make_encryptor(ctx_, config_, sk_, pk_)),
+      decryptor_(ctx_, sk_) {}
+
+const KeyBundle& ClientSession::key_bundle() {
+  if (!key_bundle_) {
+    const ckks::RelinKey rlk = keygen_.relin_key();
+    const ckks::GaloisKeys gks = keygen_.galois_keys(config_.rotations);
+    KeyBundle bundle;
+    bundle.public_key =
+        serialize_public_key(ctx_, pk_, config_.bits_per_coeff);
+    bundle.relin_key =
+        serialize_key_switch_key(ctx_, rlk.key, config_.bits_per_coeff);
+    bundle.galois_keys.reserve(gks.keys.size());
+    for (const ckks::KeySwitchKey& gk : gks.keys) {
+      bundle.galois_keys.push_back(
+          serialize_key_switch_key(ctx_, gk, config_.bits_per_coeff));
+    }
+    key_bundle_ = std::move(bundle);
+  }
+  return *key_bundle_;
+}
+
+std::vector<ckks::Ciphertext> ClientSession::encrypt(
+    std::span<const std::vector<std::complex<double>>> messages,
+    std::size_t limbs) {
+  return encryptor_.encrypt_batch(messages, limbs);
+}
+
+std::vector<ckks::Ciphertext> ClientSession::encrypt_real(
+    std::span<const std::vector<double>> messages, std::size_t limbs) {
+  return encryptor_.encrypt_real_batch(messages, limbs);
+}
+
+std::vector<u8> ClientSession::upload(
+    std::span<const std::vector<std::complex<double>>> messages,
+    std::size_t limbs) {
+  return serialize_ciphertext_batch(encrypt(messages, limbs),
+                                    config_.bits_per_coeff);
+}
+
+std::vector<std::vector<std::complex<double>>> ClientSession::decrypt_batch(
+    std::span<const ckks::Ciphertext> cts) {
+  return decryptor_.decrypt_decode_batch(cts);
+}
+
+BatchVerifyReport ClientSession::verify(
+    std::span<const ckks::Ciphertext> cts,
+    std::span<const std::vector<std::complex<double>>> expected,
+    double bound) {
+  return decryptor_.verify_batch(cts, expected, bound);
+}
+
+BatchVerifyReport ClientSession::verify_download(
+    std::span<const u8> envelope,
+    std::span<const std::vector<std::complex<double>>> expected,
+    double bound) {
+  const std::vector<ckks::Ciphertext> cts =
+      deserialize_ciphertext_batch(ctx_, envelope);
+  return verify(cts, expected, bound);
+}
+
+}  // namespace abc::engine

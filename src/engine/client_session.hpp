@@ -1,0 +1,125 @@
+#pragma once
+
+/// @file client_session.hpp
+/// Pipeline facade over the full client round trip — the client half of
+/// the ROADMAP's persistent-server story. One ClientSession owns a warm
+/// context plus all three batch engines and walks the paper's session
+/// lifecycle as method calls:
+///
+///   1. keygen           — secret/public keys in the constructor; relin +
+///                         Galois switching keys on first key_bundle()
+///   2. key upload       — key_bundle(): seed-compressed wire blobs (the
+///                         b halves + stream ids a server needs)
+///   3. encrypt batch    — encrypt()/encrypt_real(), or upload() straight
+///                         to an "ABCB" ciphertext-batch envelope
+///   4. decrypt/verify   — decrypt_batch()/verify(), or verify_download()
+///                         straight from a returned envelope
+///
+/// Context, engines and per-worker scratch are built once and reused
+/// across requests, so a long-lived client amortizes every setup cost —
+/// the serving posture behind "millions of users". All engine guarantees
+/// carry over: batches are bit-identical at any worker count, and every
+/// stream id comes from the context-wide counter.
+
+#include <complex>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "ckks/serialize.hpp"
+#include "engine/batch_decryptor.hpp"
+#include "engine/batch_encryptor.hpp"
+#include "engine/batch_keygen.hpp"
+
+namespace abc::engine {
+
+struct SessionConfig {
+  /// Rotation steps whose Galois keys the key bundle ships (rotate-and-sum
+  /// workloads want powers of two up to slots/2).
+  std::vector<int> rotations;
+  /// Packed residue width of every wire format the session emits.
+  int bits_per_coeff = 44;
+  /// Encryption mode for the upload path. Symmetric seeded is the paper's
+  /// client profile (1 NTT pass per limb, c1 compressed to a stream id).
+  ckks::EncryptMode mode = ckks::EncryptMode::kSymmetricSeeded;
+};
+
+/// The serialized key set a client uploads once per session, every blob
+/// seed-compressed (only what the server cannot regenerate ships).
+struct KeyBundle {
+  std::vector<u8> public_key;
+  std::vector<u8> relin_key;
+  std::vector<std::vector<u8>> galois_keys;  // SessionConfig::rotations order
+
+  std::size_t total_bytes() const noexcept {
+    std::size_t total = public_key.size() + relin_key.size();
+    for (const auto& gk : galois_keys) total += gk.size();
+    return total;
+  }
+};
+
+class ClientSession {
+ public:
+  explicit ClientSession(std::shared_ptr<const ckks::CkksContext> ctx,
+                         SessionConfig config = {});
+
+  const ckks::CkksContext& context() const noexcept { return *ctx_; }
+  const SessionConfig& config() const noexcept { return config_; }
+  const ckks::SecretKey& secret_key() const noexcept { return sk_; }
+
+  /// The warm engines, for callers composing their own pipelines.
+  BatchEncryptor& encrypt_engine() noexcept { return encryptor_; }
+  BatchDecryptor& decrypt_engine() noexcept { return decryptor_; }
+
+  /// Seed-compressed key upload blobs. The switching keys are generated
+  /// (across the pool) and serialized on first call, then cached — a
+  /// session uploads its keys once and encrypts forever after.
+  const KeyBundle& key_bundle();
+
+  // -- request path ---------------------------------------------------------
+
+  /// Encode+encrypt a batch at @p limbs RNS limbs.
+  std::vector<ckks::Ciphertext> encrypt(
+      std::span<const std::vector<std::complex<double>>> messages,
+      std::size_t limbs);
+  std::vector<ckks::Ciphertext> encrypt_real(
+      std::span<const std::vector<double>> messages, std::size_t limbs);
+
+  /// encrypt() + ciphertext-batch envelope: the bytes one request uploads.
+  std::vector<u8> upload(
+      std::span<const std::vector<std::complex<double>>> messages,
+      std::size_t limbs);
+
+  // -- response path --------------------------------------------------------
+
+  /// Decrypt+decode a returned batch to slot values, input order.
+  std::vector<std::vector<std::complex<double>>> decrypt_batch(
+      std::span<const ckks::Ciphertext> cts);
+
+  /// Batched precision verification of a returned batch (see
+  /// BatchDecryptor::verify_batch for the bound semantics).
+  BatchVerifyReport verify(
+      std::span<const ckks::Ciphertext> cts,
+      std::span<const std::vector<std::complex<double>>> expected,
+      double bound = 0.0);
+
+  /// Parse a returned "ABCB" envelope and verify every ciphertext in it —
+  /// the full download path as one call.
+  BatchVerifyReport verify_download(
+      std::span<const u8> envelope,
+      std::span<const std::vector<std::complex<double>>> expected,
+      double bound = 0.0);
+
+ private:
+  std::shared_ptr<const ckks::CkksContext> ctx_;
+  SessionConfig config_;
+  ckks::SecretKey sk_;
+  ckks::PublicKey pk_;
+  BatchKeyGenerator keygen_;
+  BatchEncryptor encryptor_;
+  BatchDecryptor decryptor_;
+  std::optional<KeyBundle> key_bundle_;  // built on first key_bundle()
+};
+
+}  // namespace abc::engine

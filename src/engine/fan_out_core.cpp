@@ -1,0 +1,26 @@
+#include "engine/fan_out_core.hpp"
+
+#include "common/check.hpp"
+
+namespace abc::engine {
+
+FanOutCore::FanOutCore(std::shared_ptr<const ckks::CkksContext> ctx)
+    : ctx_(std::move(ctx)) {
+  ABC_CHECK_ARG(ctx_ != nullptr, "null context");
+  workers_ = ctx_->backend().workers();
+}
+
+void FanOutCore::run(std::size_t count, const Job& job) const {
+  if (count == 0) return;
+  ctx_->backend().parallel_for(count, job);
+}
+
+void FanOutCore::run_with_ids(std::size_t count, const IdJob& job) const {
+  if (count == 0) return;
+  const u64 base = reserve_stream_ids(count);
+  ctx_->backend().parallel_for(count, [&](std::size_t i, std::size_t worker) {
+    job(i, worker, base + i);
+  });
+}
+
+}  // namespace abc::engine

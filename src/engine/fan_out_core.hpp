@@ -1,0 +1,90 @@
+#pragma once
+
+/// @file fan_out_core.hpp
+/// Shared deterministic fan-out core for every batch engine. The three
+/// engines (BatchEncryptor, BatchKeyGenerator, BatchDecryptor) used to
+/// each reimplement the same machinery; it lives here exactly once:
+///
+///  * **Contiguous stream-id reservation.** Randomness-consuming work
+///    reserves its id block from the *context-wide* atomic counter
+///    (CkksContext::reserve_stream_ids) BEFORE any fan-out, so scheduling
+///    cannot change which item gets which stream — and two engines sharing
+///    a context can never alias a stream id, no matter how their calls
+///    interleave.
+///  * **Per-worker scratch pools** (ScratchPool<S>): one scratch per
+///    backend lane, indexed by the worker id parallel_for hands each job,
+///    so hot paths stop allocating after warm-up without any locking.
+///  * **The bit-identical-at-any-worker-count contract.** Work items are
+///    independent (parallelism only partitions, never reorders a
+///    reduction) and any randomness is fully determined by the reserved
+///    (domain, stream id) — so a ScalarBackend run, a 1-thread pool and an
+///    8-thread pool all produce the same bytes. Engines inherit the
+///    contract by routing every fan-out through run()/run_with_ids().
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+#include "ckks/context.hpp"
+
+namespace abc::engine {
+
+class FanOutCore {
+ public:
+  explicit FanOutCore(std::shared_ptr<const ckks::CkksContext> ctx);
+
+  const ckks::CkksContext& ctx() const noexcept { return *ctx_; }
+
+  /// Lanes the underlying backend executes on (scratch pools match this).
+  std::size_t workers() const noexcept { return workers_; }
+
+  /// Reserves @p count consecutive ids from the context-wide counter.
+  u64 reserve_stream_ids(u64 count) const {
+    return ctx_->reserve_stream_ids(count);
+  }
+
+  using Job = std::function<void(std::size_t index, std::size_t worker)>;
+  using IdJob =
+      std::function<void(std::size_t index, std::size_t worker, u64 id)>;
+
+  /// Executes job(i, worker) for every i in [0, count) across the
+  /// backend; exceptions from jobs rethrow on the calling thread.
+  void run(std::size_t count, const Job& job) const;
+
+  /// Reserves @p count contiguous stream ids up front, then executes
+  /// job(i, worker, base + i) — the randomness-consuming fan-out shape.
+  void run_with_ids(std::size_t count, const IdJob& job) const;
+
+ private:
+  std::shared_ptr<const ckks::CkksContext> ctx_;
+  std::size_t workers_;
+};
+
+/// One scratch object per backend lane. S is constructed from the context
+/// when such a constructor exists (EncryptScratch, DecryptScratch) and
+/// default-constructed otherwise (SamplerScratch).
+template <class S>
+class ScratchPool {
+ public:
+  explicit ScratchPool(const ckks::CkksContext& ctx) {
+    const std::size_t lanes = ctx.backend().workers();
+    pool_.reserve(lanes);
+    for (std::size_t i = 0; i < lanes; ++i) {
+      if constexpr (std::is_constructible_v<S, const ckks::CkksContext&>) {
+        pool_.emplace_back(ctx);
+      } else {
+        pool_.emplace_back();
+      }
+    }
+  }
+
+  std::size_t size() const noexcept { return pool_.size(); }
+  S& at(std::size_t worker) { return pool_.at(worker); }
+
+ private:
+  std::vector<S> pool_;
+};
+
+}  // namespace abc::engine

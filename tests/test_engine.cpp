@@ -1,11 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <random>
 
 #include "backend/scalar_backend.hpp"
 #include "backend/thread_pool_backend.hpp"
 #include "ckks/decryptor.hpp"
 #include "engine/batch_encryptor.hpp"
+#include "engine/batch_keygen.hpp"
 
 namespace abc {
 namespace {
@@ -234,6 +236,48 @@ TEST(Engine, OversizedMessageThrowsNotAborts) {
   auto msgs = random_batch(2, 16, 31);
   msgs[1].resize(ctx->slots() + 1);  // too many values for the slot count
   EXPECT_THROW(eng.encrypt_batch(msgs, ctx->max_limbs()), InvalidArgument);
+}
+
+TEST(Engine, EnginesSharingAContextNeverAliasStreamIds) {
+  // The FanOutCore regression the shared counter exists for: engines used
+  // to keep per-instance counters, so two engines on one context would
+  // both hand out id 0 and replay each other's keystreams (for the same
+  // secret and domain, that leaks plaintext differences). All ids now come
+  // from CkksContext::reserve_stream_ids, so every engine on a context
+  // draws from one sequence.
+  const ckks::CkksParams params = ckks::CkksParams::test_small(10, 3);
+  auto ctx = ckks::CkksContext::create(
+      params, std::make_shared<backend::ThreadPoolBackend>(2));
+  ckks::KeyGenerator keygen(ctx);
+  const ckks::SecretKey sk = keygen.secret_key();
+  const auto msgs = random_batch(3, 16, 77);
+
+  // Two encryption engines for the SAME secret (same salt): interleaved
+  // batches must still never share a wire stream id.
+  BatchEncryptor enc1(ctx, sk);
+  BatchEncryptor enc2(ctx, sk);
+  std::vector<u64> ids;
+  for (const auto& ct : enc1.encrypt_batch(msgs, 2)) {
+    ids.push_back(ct.compressed_c1->stream_id);
+  }
+  for (const auto& ct : enc2.encrypt_batch(msgs, 2)) {
+    ids.push_back(ct.compressed_c1->stream_id);
+  }
+  for (const auto& ct : enc1.encrypt_batch(msgs, 2)) {
+    ids.push_back(ct.compressed_c1->stream_id);
+  }
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(std::adjacent_find(ids.begin(), ids.end()), ids.end())
+      << "duplicate stream id across engines sharing a context";
+
+  // Two key engines for the same secret: their keys' counter blocks come
+  // from the same context sequence, so base ids can never collide either.
+  engine::BatchKeyGenerator kg1(ctx, sk);
+  engine::BatchKeyGenerator kg2(ctx, sk);
+  const u64 base1 = kg1.relin_key().key.base_stream_id;
+  const u64 base2 = kg2.relin_key().key.base_stream_id;
+  EXPECT_GE(base2, base1 + ctx->max_limbs())
+      << "second engine's digit block overlaps the first's";
 }
 
 TEST(Engine, EmptyBatchIsFine) {

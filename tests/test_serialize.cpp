@@ -169,5 +169,77 @@ TEST(Serialize, WidthTooNarrowRejected) {
   EXPECT_THROW(serialize_ciphertext(ct, 20), InvalidArgument);
 }
 
+TEST(Serialize, CiphertextBatchRoundtrip) {
+  // The "ABCB" envelope: frames may mix levels and compression and must
+  // come back bit-identical in input order.
+  Fixture f;
+  Encryptor sym(f.ctx, f.sk);
+  Encryptor pub(f.ctx, f.keygen.public_key(f.sk));
+  std::vector<Ciphertext> cts;
+  cts.push_back(sym.encrypt(f.encoder.encode(f.message(6), 3)));
+  cts.push_back(pub.encrypt(f.encoder.encode(f.message(7), 2)));
+  cts.push_back(sym.encrypt(f.encoder.encode(f.message(8), 2)));
+
+  const std::vector<u8> envelope = serialize_ciphertext_batch(cts, 44);
+  // The container adds 8 bytes of header + 4 per frame over the frames.
+  std::size_t frames = 0;
+  for (const auto& ct : cts) frames += serialize_ciphertext(ct, 44).size();
+  EXPECT_EQ(envelope.size(), 8 + 4 * cts.size() + frames);
+
+  const std::vector<Ciphertext> restored =
+      deserialize_ciphertext_batch(f.ctx, envelope);
+  ASSERT_EQ(restored.size(), cts.size());
+  for (std::size_t i = 0; i < cts.size(); ++i) {
+    ASSERT_EQ(restored[i].size(), cts[i].size());
+    ASSERT_EQ(restored[i].limbs(), cts[i].limbs());
+    EXPECT_DOUBLE_EQ(restored[i].scale, cts[i].scale);
+    for (std::size_t c = 0; c < cts[i].size(); ++c) {
+      for (std::size_t l = 0; l < cts[i].limbs(); ++l) {
+        EXPECT_TRUE(std::equal(restored[i].c(c).limb(l).begin(),
+                               restored[i].c(c).limb(l).end(),
+                               cts[i].c(c).limb(l).begin()))
+            << "item " << i << " component " << c << " limb " << l;
+      }
+    }
+  }
+}
+
+TEST(Serialize, EmptyCiphertextBatchRoundtrips) {
+  Fixture f;
+  const std::vector<u8> envelope = serialize_ciphertext_batch({}, 44);
+  EXPECT_EQ(envelope.size(), 8u);  // magic + count only
+  EXPECT_TRUE(deserialize_ciphertext_batch(f.ctx, envelope).empty());
+}
+
+TEST(Serialize, CorruptCiphertextBatchRejected) {
+  Fixture f;
+  Encryptor enc(f.ctx, f.sk);
+  std::vector<Ciphertext> cts;
+  cts.push_back(enc.encrypt(f.encoder.encode(f.message(9), 2)));
+  const std::vector<u8> good = serialize_ciphertext_batch(cts, 44);
+
+  std::vector<u8> bad_magic = good;
+  bad_magic[0] ^= 0xff;
+  EXPECT_THROW(deserialize_ciphertext_batch(f.ctx, bad_magic),
+               InvalidArgument);
+
+  std::vector<u8> truncated = good;
+  truncated.resize(truncated.size() - 5);
+  EXPECT_THROW(deserialize_ciphertext_batch(f.ctx, truncated),
+               InvalidArgument);
+
+  std::vector<u8> trailing = good;
+  trailing.push_back(0);
+  EXPECT_THROW(deserialize_ciphertext_batch(f.ctx, trailing),
+               InvalidArgument);
+
+  // A forged count with no frames behind it must be rejected up front
+  // (InvalidArgument, not a giant allocation / bad_alloc).
+  std::vector<u8> forged = {0x42, 0x43, 0x42, 0x41,   // "ABCB"
+                            0xff, 0xff, 0xff, 0xff};  // count = 2^32 - 1
+  EXPECT_THROW(deserialize_ciphertext_batch(f.ctx, forged),
+               InvalidArgument);
+}
+
 }  // namespace
 }  // namespace abc::ckks

@@ -1,0 +1,301 @@
+// BatchDecryptor and ClientSession: the decrypt/verify side of the engine
+// layer plus the full-session pipeline facade built on FanOutCore.
+
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <random>
+
+#include "backend/scalar_backend.hpp"
+#include "backend/thread_pool_backend.hpp"
+#include "engine/batch_decryptor.hpp"
+#include "engine/batch_encryptor.hpp"
+#include "engine/client_session.hpp"
+
+namespace abc {
+namespace {
+
+using engine::BatchDecryptor;
+using engine::BatchEncryptor;
+
+std::vector<std::vector<std::complex<double>>> random_batch(
+    std::size_t batch, std::size_t slots, u64 seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  std::vector<std::vector<std::complex<double>>> msgs(batch);
+  for (auto& m : msgs) {
+    m.resize(slots);
+    for (auto& z : m) z = {dist(rng), dist(rng)};
+  }
+  return msgs;
+}
+
+void expect_identical_plaintexts(const ckks::Plaintext& a,
+                                 const ckks::Plaintext& b) {
+  ASSERT_EQ(a.limbs(), b.limbs());
+  EXPECT_EQ(a.scale, b.scale);
+  for (std::size_t l = 0; l < a.limbs(); ++l) {
+    const std::span<const u64> la = a.poly.limb(l);
+    const std::span<const u64> lb = b.poly.limb(l);
+    for (std::size_t j = 0; j < la.size(); ++j) {
+      ASSERT_EQ(la[j], lb[j]) << "limb " << l << " coeff " << j;
+    }
+  }
+}
+
+struct RoundTrip {
+  std::shared_ptr<const ckks::CkksContext> ctx;
+  ckks::SecretKey sk;
+  std::vector<std::vector<std::complex<double>>> msgs;
+  std::vector<ckks::Ciphertext> cts;
+};
+
+/// Encrypts the same batch on a fresh context over @p backend; the
+/// ciphertexts are backend-invariant (tests/test_engine.cpp), so the
+/// decryption inputs are bit-identical across calls.
+RoundTrip make_round_trip(const ckks::CkksParams& params,
+                          std::shared_ptr<backend::PolyBackend> backend,
+                          std::size_t batch) {
+  auto ctx = ckks::CkksContext::create(params, std::move(backend));
+  ckks::KeyGenerator keygen(ctx);
+  ckks::SecretKey sk = keygen.secret_key();
+  auto msgs = random_batch(batch, ctx->slots(), 1234);
+  BatchEncryptor enc(ctx, sk);
+  auto cts = enc.encrypt_batch(msgs, ctx->max_limbs());
+  return RoundTrip{std::move(ctx), std::move(sk), std::move(msgs),
+                   std::move(cts)};
+}
+
+TEST(BatchDecryptor, MatchesSerialDecryptorBitForBit) {
+  const ckks::CkksParams params = ckks::CkksParams::test_small(10, 3);
+  RoundTrip rt = make_round_trip(
+      params, std::make_shared<backend::ThreadPoolBackend>(4), 5);
+  ckks::Decryptor serial(rt.ctx, rt.sk);
+  BatchDecryptor eng(rt.ctx, rt.sk);
+  const auto pts = eng.decrypt_batch(rt.cts);
+  ASSERT_EQ(pts.size(), rt.cts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    expect_identical_plaintexts(serial.decrypt(rt.cts[i]), pts[i]);
+  }
+}
+
+TEST(BatchDecryptor, PlaintextsAreThreadCountInvariant) {
+  // The engine determinism contract on the download side: ScalarBackend,
+  // 1-, 2- and 8-thread pools produce byte-identical plaintexts.
+  const ckks::CkksParams params = ckks::CkksParams::test_small(10, 3);
+  RoundTrip ref_rt = make_round_trip(
+      params, std::make_shared<backend::ScalarBackend>(), 6);
+  BatchDecryptor ref_eng(ref_rt.ctx, ref_rt.sk);
+  const auto ref = ref_eng.decrypt_batch(ref_rt.cts);
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    RoundTrip rt = make_round_trip(
+        params, std::make_shared<backend::ThreadPoolBackend>(threads), 6);
+    BatchDecryptor eng(rt.ctx, rt.sk);
+    const auto got = eng.decrypt_batch(rt.cts);
+    ASSERT_EQ(ref.size(), got.size());
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      expect_identical_plaintexts(ref[i], got[i]);
+    }
+  }
+}
+
+TEST(BatchDecryptor, DecodeBatchRecoversMessages) {
+  const ckks::CkksParams params = ckks::CkksParams::test_small(11, 4);
+  RoundTrip rt = make_round_trip(
+      params, std::make_shared<backend::ThreadPoolBackend>(4), 4);
+  BatchDecryptor eng(rt.ctx, rt.sk);
+  const auto decoded = eng.decrypt_decode_batch(rt.cts);
+  ASSERT_EQ(decoded.size(), rt.msgs.size());
+  for (std::size_t i = 0; i < decoded.size(); ++i) {
+    const ckks::PrecisionReport r =
+        ckks::compare_slots(rt.msgs[i], decoded[i]);
+    EXPECT_GT(r.precision_bits, 12.0) << "message " << i;
+  }
+}
+
+TEST(BatchDecryptor, EmptyBatchIsFine) {
+  const ckks::CkksParams params = ckks::CkksParams::test_small(10, 3);
+  auto ctx = ckks::CkksContext::create(params);
+  ckks::KeyGenerator keygen(ctx);
+  BatchDecryptor eng(ctx, keygen.secret_key());
+  EXPECT_TRUE(eng.decrypt_batch({}).empty());
+  EXPECT_TRUE(eng.decrypt_decode_batch({}).empty());
+  const engine::BatchVerifyReport report = eng.verify_batch({}, {});
+  EXPECT_TRUE(report.ok);
+  EXPECT_EQ(report.passed, 0u);
+  EXPECT_EQ(report.failed, 0u);
+  EXPECT_TRUE(report.items.empty());
+}
+
+TEST(BatchDecryptor, WrongLevelComponentThrowsNotAborts) {
+  // A ciphertext whose components disagree on the level is malformed; the
+  // pooled batch must surface that as a catchable exception, exactly as a
+  // serial decrypt would.
+  const ckks::CkksParams params = ckks::CkksParams::test_small(10, 3);
+  RoundTrip rt = make_round_trip(
+      params, std::make_shared<backend::ThreadPoolBackend>(2), 2);
+  BatchDecryptor eng(rt.ctx, rt.sk);
+  rt.cts[1].components[1].drop_last_limb();  // c1 now one level below c0
+  EXPECT_THROW(eng.decrypt_batch(rt.cts), InvalidArgument);
+}
+
+TEST(BatchDecryptor, BadComponentCountThrowsNotAborts) {
+  const ckks::CkksParams params = ckks::CkksParams::test_small(10, 3);
+  RoundTrip rt = make_round_trip(
+      params, std::make_shared<backend::ThreadPoolBackend>(2), 2);
+  BatchDecryptor eng(rt.ctx, rt.sk);
+  rt.cts[0].components.pop_back();  // 1-component "ciphertext"
+  EXPECT_THROW(eng.decrypt_batch(rt.cts), InvalidArgument);
+}
+
+TEST(BatchDecryptor, VerifyBatchFlagsCorruptedComponent) {
+  const ckks::CkksParams params = ckks::CkksParams::test_small(10, 3);
+  RoundTrip rt = make_round_trip(
+      params, std::make_shared<backend::ThreadPoolBackend>(4), 4);
+  BatchDecryptor eng(rt.ctx, rt.sk);
+  const engine::BatchVerifyReport clean = eng.verify_batch(rt.cts, rt.msgs);
+  EXPECT_TRUE(clean.ok);
+  EXPECT_EQ(clean.passed, rt.cts.size());
+  EXPECT_EQ(clean.failed, 0u);
+
+  // Corrupt one residue of one item's c0: that item decrypts to garbage
+  // and must fail its bound; the others still pass.
+  const u64 q = rt.ctx->poly_context()->modulus(0).value();
+  std::span<u64> limb = rt.cts[2].c(0).limb(0);
+  limb[7] = (limb[7] + q / 2) % q;
+  const engine::BatchVerifyReport report = eng.verify_batch(rt.cts, rt.msgs);
+  EXPECT_FALSE(report.ok);
+  EXPECT_EQ(report.failed, 1u);
+  EXPECT_EQ(report.passed, rt.cts.size() - 1);
+  EXPECT_FALSE(report.items[2].ok);
+  EXPECT_TRUE(report.items[0].ok);
+  EXPECT_GT(report.worst_abs_error, report.items[2].bound);
+  // The fold mirrors the worst item.
+  EXPECT_EQ(report.worst_abs_error, report.items[2].max_abs_error);
+}
+
+TEST(BatchDecryptor, VerifyBatchRequiresMatchingExpectedCount) {
+  const ckks::CkksParams params = ckks::CkksParams::test_small(10, 3);
+  RoundTrip rt = make_round_trip(
+      params, std::make_shared<backend::ThreadPoolBackend>(2), 3);
+  BatchDecryptor eng(rt.ctx, rt.sk);
+  const auto short_expected =
+      std::span(rt.msgs.data(), rt.msgs.size() - 1);
+  EXPECT_THROW(eng.verify_batch(rt.cts, short_expected), InvalidArgument);
+}
+
+TEST(ClientSession, FullRoundTripPassesVerifyBounds) {
+  // The acceptance-criteria loop: keygen -> seed-compressed key bundle ->
+  // encrypt batch -> wire envelope -> decrypt/verify batch, one facade.
+  const ckks::CkksParams params = ckks::CkksParams::test_small(11, 4);
+  auto ctx = ckks::CkksContext::create(
+      params, std::make_shared<backend::ThreadPoolBackend>(4));
+  engine::SessionConfig cfg;
+  cfg.rotations = {1, 4};
+  engine::ClientSession session(ctx, cfg);
+
+  // The key bundle is seed-compressed and restores server-side.
+  const engine::KeyBundle& keys = session.key_bundle();
+  EXPECT_GT(keys.total_bytes(), 0u);
+  const ckks::PublicKey pk =
+      ckks::deserialize_public_key(ctx, keys.public_key);
+  EXPECT_EQ(pk.b.limbs(), ctx->max_limbs());
+  const ckks::KeySwitchKey rlk =
+      ckks::deserialize_key_switch_key(ctx, keys.relin_key);
+  EXPECT_EQ(rlk.kind, ckks::KeySwitchKey::Kind::kRelin);
+  ASSERT_EQ(keys.galois_keys.size(), cfg.rotations.size());
+  const ckks::KeySwitchKey gk =
+      ckks::deserialize_key_switch_key(ctx, keys.galois_keys[0]);
+  EXPECT_EQ(gk.galois_elt, ckks::galois_element(1, ctx->n()));
+  // Bundles are cached: a second call serializes nothing new.
+  EXPECT_EQ(&keys, &session.key_bundle());
+
+  // Round trip through the wire envelope; the echoed upload must verify
+  // against the original messages within the fresh+keyswitch bound.
+  const auto msgs = random_batch(6, ctx->slots(), 99);
+  const std::vector<u8> envelope = session.upload(msgs, ctx->max_limbs());
+  const engine::BatchVerifyReport report =
+      session.verify_download(envelope, msgs);
+  EXPECT_TRUE(report.ok);
+  EXPECT_EQ(report.passed, msgs.size());
+  EXPECT_GT(report.worst_precision_bits, 12.0);
+
+  // decrypt_batch recovers the slots too (the non-verifying path).
+  const auto cts = session.encrypt(msgs, ctx->max_limbs());
+  const auto decoded = session.decrypt_batch(cts);
+  for (std::size_t i = 0; i < msgs.size(); ++i) {
+    EXPECT_GT(ckks::compare_slots(msgs[i], decoded[i]).precision_bits, 12.0);
+  }
+}
+
+TEST(ClientSession, SessionsSharingAContextHoldDistinctSecrets) {
+  // Secret ids are context-wide (CkksContext::reserve_secret_ids): two
+  // sessions on one warm context must never silently regenerate the same
+  // secret for what the caller intends to be different users.
+  const ckks::CkksParams params = ckks::CkksParams::test_small(10, 3);
+  auto ctx = ckks::CkksContext::create(params);
+  engine::ClientSession a(ctx);
+  engine::ClientSession b(ctx);
+  ASSERT_NE(a.secret_key().stream_id, b.secret_key().stream_id);
+  bool differs = false;
+  const std::span<const u64> sa = a.secret_key().s.limb(0);
+  const std::span<const u64> sb = b.secret_key().s.limb(0);
+  for (std::size_t j = 0; j < sa.size() && !differs; ++j) {
+    differs = sa[j] != sb[j];
+  }
+  EXPECT_TRUE(differs) << "two sessions share one secret key";
+}
+
+TEST(ClientSession, OversizedExpectedSlotsThrowNotRead) {
+  const ckks::CkksParams params = ckks::CkksParams::test_small(10, 3);
+  auto ctx = ckks::CkksContext::create(params);
+  engine::ClientSession session(ctx);
+  const auto msgs = random_batch(2, ctx->slots(), 5);
+  const auto cts = session.encrypt(msgs, ctx->max_limbs());
+  auto too_long = msgs;
+  too_long[1].resize(ctx->slots() + 3);  // more than a ciphertext decodes
+  EXPECT_THROW(session.verify(cts, too_long), InvalidArgument);
+}
+
+TEST(ClientSession, PublicKeyModeRoundTrips) {
+  const ckks::CkksParams params = ckks::CkksParams::test_small(10, 3);
+  auto ctx = ckks::CkksContext::create(
+      params, std::make_shared<backend::ThreadPoolBackend>(2));
+  engine::SessionConfig cfg;
+  cfg.mode = ckks::EncryptMode::kPublicKey;
+  engine::ClientSession session(ctx, cfg);
+  EXPECT_EQ(session.encrypt_engine().mode(), ckks::EncryptMode::kPublicKey);
+
+  const auto msgs = random_batch(3, ctx->slots(), 7);
+  const engine::BatchVerifyReport report =
+      session.verify(session.encrypt(msgs, ctx->max_limbs()), msgs);
+  EXPECT_TRUE(report.ok) << "worst error " << report.worst_abs_error;
+}
+
+TEST(ClientSession, SessionsAreBackendInvariant) {
+  // A whole session (keygen + encrypt + wire) is bit-identical between the
+  // scalar backend and any pool: same key bundle bytes, same envelope.
+  const ckks::CkksParams params = ckks::CkksParams::test_small(10, 3);
+  const auto msgs = random_batch(3, 256, 17);
+  auto run = [&](std::shared_ptr<backend::PolyBackend> backend) {
+    auto ctx = ckks::CkksContext::create(params, std::move(backend));
+    engine::SessionConfig cfg;
+    cfg.rotations = {1};
+    engine::ClientSession session(ctx, cfg);
+    const engine::KeyBundle& keys = session.key_bundle();
+    std::pair<std::vector<u8>, std::vector<u8>> out;
+    out.first = keys.relin_key;
+    out.second = session.upload(msgs, ctx->max_limbs());
+    return out;
+  };
+  const auto ref = run(std::make_shared<backend::ScalarBackend>());
+  for (std::size_t threads : {1u, 8u}) {
+    const auto got =
+        run(std::make_shared<backend::ThreadPoolBackend>(threads));
+    EXPECT_EQ(ref.first, got.first) << threads << " threads (relin key)";
+    EXPECT_EQ(ref.second, got.second) << threads << " threads (envelope)";
+  }
+}
+
+}  // namespace
+}  // namespace abc
