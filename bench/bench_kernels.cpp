@@ -1,16 +1,24 @@
 // Kernel-level microbenchmarks: the primitive throughputs behind the CPU
 // baseline of Fig. 5(a) — NTT/INTT (seed eager-reduction kernel vs. the
-// Harvey lazy-reduction portable and AVX2 kernels), the batched dyadic ops
-// (seed per-element Barrett vs. the simd/ kernel set), the canonical-
-// embedding DWT, hardware-model modular multipliers, ChaCha20 expansion,
-// and end-to-end encode/encrypt at bootstrappable parameters.
+// Harvey lazy-reduction portable/AVX2/AVX-512-IFMA kernels), the batched
+// dyadic ops (seed per-element Barrett vs. the simd/ kernel set), the
+// fused-vs-unfused single-pass chains (gadget accumulate, negate_add,
+// sub_mul_scalar, fma_into), the canonical-embedding DWT, hardware-model
+// modular multipliers, ChaCha20 expansion, and end-to-end encode/encrypt
+// at bootstrappable parameters.
 //
 // Usage: bench_kernels [--quick] [--reps N] [--json out.json]
-//   --quick restricts sizes and reps for CI smoke runs; --json emits the
-//   machine-readable results (bench_util.hpp schema), including
+//                      [--arch portable|avx2|avx512ifma]
+//   --quick restricts sizes and reps for CI smoke runs; --arch restricts
+//   the kernel sections to one tier (must be selectable on the host);
+//   --json emits the machine-readable results (bench_util.hpp schema):
 //   "ntt_roundtrip_speedup/..." — the lazy-vs-eager forward+inverse ratio
-//   the PR 2 acceptance gate reads.
+//   the PR 2 acceptance gate reads — and "kernels/..." records in the
+//   unified {op, arch, fused, ns_per_op} schema, whose derived
+//   "fused_speedup/<op>/<arch>" entries the fused-pass acceptance gate
+//   reads.
 
+#include <algorithm>
 #include <cstdio>
 #include <functional>
 #include <random>
@@ -42,21 +50,38 @@ std::vector<u64> random_poly(std::size_t n, u64 q, u64 seed) {
   return a;
 }
 
+/// The arch tiers this run benches: every selectable tier, or just the one
+/// named by --arch (exits with an error if it is not selectable here).
+std::vector<simd::KernelArch> bench_arches(const std::string& requested) {
+  std::vector<simd::KernelArch> all = {simd::KernelArch::kPortable};
+  if (simd::avx2_selectable()) all.push_back(simd::KernelArch::kAvx2);
+  if (simd::avx512ifma_selectable())
+    all.push_back(simd::KernelArch::kAvx512Ifma);
+  if (requested.empty()) return all;
+  for (simd::KernelArch arch : all) {
+    if (requested == simd::kernel_arch_name(arch)) return {arch};
+  }
+  std::fprintf(stderr,
+               "bench_kernels: --arch %s is not selectable on this host "
+               "(unsupported CPU, non-SIMD build, or an env veto)\n",
+               requested.c_str());
+  std::exit(1);
+}
+
 struct NttVariant {
-  const char* name;
+  std::string name;
   simd::KernelArch arch;  // meaningful for the lazy kernels only
   bool eager;
 };
 
 void bench_ntt(bench::JsonReporter& rep, TextTable& table, int reps,
-               bool quick) {
-  const bool have_avx2 = simd::avx2_selectable();
+               bool quick, const std::vector<simd::KernelArch>& arches) {
   std::vector<NttVariant> variants = {
       {"eager", simd::KernelArch::kPortable, true},
-      {"lazy_portable", simd::KernelArch::kPortable, false},
   };
-  if (have_avx2) {
-    variants.push_back({"lazy_avx2", simd::KernelArch::kAvx2, false});
+  for (simd::KernelArch arch : arches) {
+    variants.push_back(
+        {std::string("lazy_") + simd::kernel_arch_name(arch), arch, false});
   }
 
   const std::vector<int> sizes = quick ? std::vector<int>{13, 16}
@@ -80,13 +105,13 @@ void bench_ntt(bench::JsonReporter& rep, TextTable& table, int reps,
         v.eager ? tables.inverse_eager(b) : tables.inverse(b);
       });
       if (v.eager) eager_roundtrip = fwd + inv;
-      rep.add_timing(std::string("ntt_fwd/") + v.name + suffix, fwd,
+      rep.add_timing("ntt_fwd/" + v.name + suffix, fwd,
                      static_cast<double>(n));
-      rep.add_timing(std::string("ntt_inv/") + v.name + suffix, inv,
+      rep.add_timing("ntt_inv/" + v.name + suffix, inv,
                      static_cast<double>(n));
       const double speedup = eager_roundtrip / (fwd + inv);
-      rep.add_metric(std::string("ntt_roundtrip_speedup/") + v.name + suffix,
-                     "speedup", speedup);
+      rep.add_metric("ntt_roundtrip_speedup/" + v.name + suffix, "speedup",
+                     speedup);
       table.add_row({"ntt fwd+inv " + std::to_string(log_n), v.name,
                      bench::fmt_time(fwd + inv),
                      TextTable::fmt(speedup, 2) + "x"});
@@ -95,7 +120,8 @@ void bench_ntt(bench::JsonReporter& rep, TextTable& table, int reps,
   simd::set_kernel_arch_for_testing(simd::detected_kernel_arch());
 }
 
-void bench_dyadic(bench::JsonReporter& rep, TextTable& table, int reps) {
+void bench_dyadic(bench::JsonReporter& rep, TextTable& table, int reps,
+                  const std::vector<simd::KernelArch>& arches) {
   const int log_n = 16;
   const std::size_t n = std::size_t{1} << log_n;
   const rns::Modulus q(rns::select_prime_chain(36, log_n, 1)[0]);
@@ -137,7 +163,6 @@ void bench_dyadic(bench::JsonReporter& rep, TextTable& table, int reps) {
        [&](u64* d) { simd::dyadic_negate(dm, d, n); }},
   };
 
-  const bool have_avx2 = simd::avx2_selectable();
   for (const Op& op : ops) {
     std::vector<u64> d = random_poly(n, q.value(), 5);
     const double seed_t =
@@ -145,25 +170,18 @@ void bench_dyadic(bench::JsonReporter& rep, TextTable& table, int reps) {
     rep.add_timing(std::string("dyadic/") + op.name + "/seed", seed_t,
                    static_cast<double>(n));
 
-    simd::set_kernel_arch_for_testing(simd::KernelArch::kPortable);
-    d = random_poly(n, q.value(), 5);
-    const double port_t =
-        bench::time_best_of(reps, [&] { op.kernel(d.data()); });
-    rep.add_timing(std::string("dyadic/") + op.name + "/portable", port_t,
-                   static_cast<double>(n));
-
-    double best_t = port_t;
-    const char* best_name = "portable";
-    if (have_avx2) {
-      simd::set_kernel_arch_for_testing(simd::KernelArch::kAvx2);
+    double best_t = 1e300;
+    const char* best_name = "seed";
+    for (simd::KernelArch arch : arches) {
+      simd::set_kernel_arch_for_testing(arch);
       d = random_poly(n, q.value(), 5);
-      const double avx_t =
-          bench::time_best_of(reps, [&] { op.kernel(d.data()); });
-      rep.add_timing(std::string("dyadic/") + op.name + "/avx2", avx_t,
-                     static_cast<double>(n));
-      if (avx_t < best_t) {
-        best_t = avx_t;
-        best_name = "avx2";
+      const double t = bench::time_best_of(reps, [&] { op.kernel(d.data()); });
+      rep.add_timing(std::string("dyadic/") + op.name + "/" +
+                         simd::kernel_arch_name(arch),
+                     t, static_cast<double>(n));
+      if (t < best_t) {
+        best_t = t;
+        best_name = simd::kernel_arch_name(arch);
       }
     }
     rep.add_metric(std::string("dyadic_speedup/") + op.name, "speedup",
@@ -173,6 +191,139 @@ void bench_dyadic(bench::JsonReporter& rep, TextTable& table, int reps) {
                    TextTable::fmt(seed_t / best_t, 2) + "x"});
   }
   simd::set_kernel_arch_for_testing(simd::detected_kernel_arch());
+}
+
+/// Fused single-pass kernels vs. the unfused multi-pass chains they replace,
+/// per arch tier, in the unified {op, arch, fused, ns_per_op} record schema.
+/// The shapes mirror the hot paths: gadget_accumulate is the key-switch
+/// inner loop (permutation gather + two fma passes), negate_add the
+/// encrypt/keygen combine, sub_mul_scalar the rescale/mod-down tail, and
+/// fma_into the decrypt phase computation.
+void bench_fused(bench::JsonReporter& rep, TextTable& table, int reps,
+                 const std::vector<simd::KernelArch>& arches) {
+  // n = 2^18: larger than the single-limb ring so the streams spill L2 the
+  // way the real multi-limb/multi-digit key-switch working set does — the
+  // saved passes are what fusion is about, so they must actually hit
+  // memory here. (The dyadic kernels are plain array ops; n need not be a
+  // ring size.)
+  const int log_n = 18;
+  const std::size_t n = std::size_t{1} << log_n;
+  const rns::Modulus q(rns::select_prime_chain(36, 16, 1)[0]);
+  const simd::DyadicModulus dm = simd::DyadicModulus::make(q);
+  const std::vector<u64> digit = random_poly(n, q.value(), 11);
+  const std::vector<u64> kb = random_poly(n, q.value(), 12);
+  const std::vector<u64> ka = random_poly(n, q.value(), 13);
+  const rns::ShoupMul scalar = rns::ShoupMul::make(q.reduce(98765), q);
+
+  // A Galois-style index permutation (the key-switch gather pattern).
+  std::vector<u32> perm(n);
+  for (std::size_t j = 0; j < n; ++j) perm[j] = static_cast<u32>(j);
+  std::mt19937_64 rng(14);
+  std::shuffle(perm.begin(), perm.end(), rng);
+
+  struct FusedOp {
+    const char* name;
+    std::function<void()> unfused;  // the multi-pass chain it replaces
+    std::function<void()> fused;
+  };
+  std::vector<u64> acc0 = random_poly(n, q.value(), 15);
+  std::vector<u64> acc1 = random_poly(n, q.value(), 16);
+  std::vector<u64> dst = random_poly(n, q.value(), 17);
+  std::vector<u64> src = random_poly(n, q.value(), 18);
+  std::vector<u64> out(n);
+  std::vector<u64> tmp(n);
+  const std::vector<FusedOp> ops = {
+      {"gadget_accumulate",
+       [&] {
+         for (std::size_t j = 0; j < n; ++j) tmp[j] = digit[perm[j]];
+         simd::dyadic_fma(dm, acc0.data(), tmp.data(), kb.data(), n);
+         simd::dyadic_fma(dm, acc1.data(), tmp.data(), ka.data(), n);
+       },
+       [&] {
+         simd::dyadic_fma_accumulate(dm, acc0.data(), acc1.data(),
+                                     digit.data(), kb.data(), ka.data(),
+                                     perm.data(), n);
+       }},
+      {"negate_add",
+       [&] {
+         simd::dyadic_negate(dm, dst.data(), n);
+         simd::dyadic_add(dm, dst.data(), src.data(), n);
+       },
+       [&] { simd::dyadic_negate_add(dm, dst.data(), src.data(), n); }},
+      {"sub_mul_scalar",
+       [&] {
+         simd::dyadic_sub(dm, dst.data(), src.data(), n);
+         simd::dyadic_mul_scalar(dm, dst.data(), n, scalar.operand,
+                                 scalar.quotient);
+       },
+       [&] {
+         simd::dyadic_sub_mul_scalar(dm, dst.data(), src.data(), n,
+                                     scalar.operand, scalar.quotient);
+       }},
+      {"fma_into",
+       [&] {
+         std::copy(acc0.begin(), acc0.end(), out.begin());
+         simd::dyadic_fma(dm, out.data(), digit.data(), kb.data(), n);
+       },
+       [&] {
+         simd::dyadic_fma_into(dm, out.data(), acc0.data(), digit.data(),
+                               kb.data(), n);
+       }},
+  };
+
+  // Arch outermost: on parts with AVX-512 license-based frequency
+  // throttling this keeps the portable/AVX2 measurements from running in
+  // the downclocked shadow of a preceding AVX-512 measurement.
+  struct Sample {
+    std::string op;
+    simd::KernelArch arch;
+    double unfused_t;
+    double fused_t;
+  };
+  std::vector<Sample> samples;
+  for (simd::KernelArch arch : arches) {
+    simd::set_kernel_arch_for_testing(arch);
+    for (const FusedOp& op : ops) {
+      const char* arch_name = simd::kernel_arch_name(arch);
+      const double unfused_t = bench::time_best_of(reps, op.unfused);
+      const double fused_t = bench::time_best_of(reps, op.fused);
+      samples.push_back({op.name, arch, unfused_t, fused_t});
+      const std::string base =
+          std::string("kernels/") + op.name + "/" + arch_name;
+      rep.add_record(bench::BenchResult{
+          base + "/unfused",
+          {{"op", op.name}, {"arch", arch_name}},
+          {{"fused", 0.0}, {"ns_per_op", unfused_t * 1e9 / n}}});
+      rep.add_record(bench::BenchResult{
+          base + "/fused",
+          {{"op", op.name}, {"arch", arch_name}},
+          {{"fused", 1.0}, {"ns_per_op", fused_t * 1e9 / n}}});
+      const double speedup = unfused_t / fused_t;
+      rep.add_metric(std::string("fused_speedup/") + op.name + "/" + arch_name,
+                     "speedup", speedup);
+      table.add_row({std::string("fused ") + op.name + " 2^" +
+                         std::to_string(log_n),
+                     arch_name,
+                     bench::fmt_time(fused_t),
+                     TextTable::fmt(speedup, 2) + "x"});
+    }
+  }
+  simd::set_kernel_arch_for_testing(simd::detected_kernel_arch());
+
+  // The headline gate: the dispatched fused pass (best benched tier)
+  // against the unfused AVX2 chain it replaced on the hot paths.
+  for (const FusedOp& op : ops) {
+    double avx2_unfused = 0, best_fused = 1e300;
+    for (const Sample& s : samples) {
+      if (s.op != op.name) continue;
+      if (s.arch == simd::KernelArch::kAvx2) avx2_unfused = s.unfused_t;
+      best_fused = std::min(best_fused, s.fused_t);
+    }
+    if (avx2_unfused > 0) {
+      rep.add_metric(std::string("fused_speedup_vs_avx2_unfused/") + op.name,
+                     "speedup", avx2_unfused / best_fused);
+    }
+  }
 }
 
 void bench_misc(bench::JsonReporter& rep, TextTable& table, int reps,
@@ -246,22 +397,33 @@ int main(int argc, char** argv) {
   const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
   const int reps = args.reps > 0 ? args.reps : (args.quick ? 2 : 5);
 
+  const std::vector<simd::KernelArch> arches = bench_arches(args.arch);
+
   std::printf("ABC-FHE reproduction :: kernel microbenchmarks\n");
-  std::printf("Kernel arch: %s (AVX2 %s; set ABC_FORCE_PORTABLE_KERNELS=1 "
-              "to force portable)\n\n",
+  std::printf("Kernel arch: %s (AVX2 %s, AVX-512/IFMA %s; "
+              "ABC_FORCE_PORTABLE_KERNELS=1 forces portable, "
+              "ABC_DISABLE_AVX512_KERNELS=1 caps at AVX2)\n",
               simd::kernel_arch_name(simd::active_kernel_arch()),
-              simd::avx2_supported() ? "available" : "unavailable");
+              simd::avx2_supported() ? "available" : "unavailable",
+              simd::avx512ifma_supported() ? "available" : "unavailable");
+  if (!args.arch.empty()) {
+    std::printf("Benching arch tier: %s (--arch)\n", args.arch.c_str());
+  }
+  std::printf("\n");
 
   bench::JsonReporter rep("bench_kernels");
   rep.add_metric("meta/avx2_supported", "value",
                  simd::avx2_supported() ? 1.0 : 0.0);
+  rep.add_metric("meta/avx512ifma_supported", "value",
+                 simd::avx512ifma_supported() ? 1.0 : 0.0);
 
   TextTable table("Kernel timings (best of " + std::to_string(reps) +
-                  " reps; speed-up vs seed kernel where applicable)");
+                  " reps; speed-up vs seed/unfused where applicable)");
   table.set_header({"Kernel", "Variant", "Time", "Speed-up"});
 
-  bench_ntt(rep, table, reps, args.quick);
-  bench_dyadic(rep, table, reps);
+  bench_ntt(rep, table, reps, args.quick, arches);
+  bench_dyadic(rep, table, reps, arches);
+  bench_fused(rep, table, reps, arches);
   bench_misc(rep, table, reps, args.quick);
 
   table.print();

@@ -8,10 +8,13 @@
 ///     --json <path>   write results as JSON to <path>
 ///     --reps <n>      timed repetitions per measurement (best-of)
 ///     --quick         minimal-reps smoke mode (CI)
+///     --arch <name>   restrict kernel benches to one arch tier
+///                     (portable | avx2 | avx512ifma)
 ///
 /// JSON schema: {"bench": "<binary>", "results": [{"name": "...",
 /// "seconds": ..., "items_per_s": ..., ...}, ...]} — one object per
-/// measurement, metrics as flat numeric fields.
+/// measurement, metrics as flat numeric fields; records may also carry
+/// string labels (e.g. "op"/"arch" in the unified kernel schema).
 
 #include <algorithm>
 #include <chrono>
@@ -28,6 +31,7 @@ struct BenchArgs {
   std::string json_path;                  // empty = no JSON output
   int reps = 0;                           // 0 = bench default
   bool quick = false;
+  std::string arch;                       // empty = every selectable tier
   std::vector<std::string> positional;
 
   static BenchArgs parse(int argc, char** argv) {
@@ -39,6 +43,8 @@ struct BenchArgs {
         args.reps = std::atoi(argv[++i]);
       } else if (std::strcmp(argv[i], "--quick") == 0) {
         args.quick = true;
+      } else if (std::strcmp(argv[i], "--arch") == 0 && i + 1 < argc) {
+        args.arch = argv[++i];
       } else {
         args.positional.emplace_back(argv[i]);
       }
@@ -47,9 +53,10 @@ struct BenchArgs {
   }
 };
 
-/// One measurement: a name plus flat numeric metrics.
+/// One measurement: a name plus string labels and flat numeric metrics.
 struct BenchResult {
   std::string name;
+  std::vector<std::pair<std::string, std::string>> labels;
   std::vector<std::pair<std::string, double>> metrics;
 };
 
@@ -60,7 +67,7 @@ class JsonReporter {
 
   /// Standard timing entry; derives items_per_s when items > 0.
   void add_timing(const std::string& name, double seconds, double items = 0) {
-    BenchResult r{name, {{"seconds", seconds}}};
+    BenchResult r{name, {}, {{"seconds", seconds}}};
     if (items > 0) {
       r.metrics.emplace_back("items", items);
       r.metrics.emplace_back("items_per_s", items / seconds);
@@ -71,8 +78,12 @@ class JsonReporter {
   /// Free-form scalar metric (speed-ups, rates, counts).
   void add_metric(const std::string& name, const std::string& key,
                   double value) {
-    results_.push_back(BenchResult{name, {{key, value}}});
+    results_.push_back(BenchResult{name, {}, {{key, value}}});
   }
+
+  /// Labeled record (the unified kernel schema: string labels like
+  /// "op"/"arch"/"fused" next to numeric metrics like "ns_per_op").
+  void add_record(BenchResult r) { results_.push_back(std::move(r)); }
 
   const std::vector<BenchResult>& results() const { return results_; }
 
@@ -89,6 +100,9 @@ class JsonReporter {
     for (std::size_t i = 0; i < results_.size(); ++i) {
       const BenchResult& r = results_[i];
       std::fprintf(f, "    {\"name\": \"%s\"", r.name.c_str());
+      for (const auto& [key, value] : r.labels) {
+        std::fprintf(f, ", \"%s\": \"%s\"", key.c_str(), value.c_str());
+      }
       for (const auto& [key, value] : r.metrics) {
         std::fprintf(f, ", \"%s\": %.9g", key.c_str(), value);
       }

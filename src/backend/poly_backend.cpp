@@ -98,6 +98,33 @@ void PolyBackend::negate(const poly::PolyContext& ctx, std::span<u64> dst,
   });
 }
 
+void PolyBackend::negate_add(const poly::PolyContext& ctx, std::span<u64> dst,
+                             std::span<const u64> src, std::size_t limbs) {
+  const std::size_t n = ctx.n();
+  parallel_for(limbs, [&](std::size_t i, std::size_t) {
+    const simd::DyadicModulus& m = ctx.dyadic(i);
+    simd::dyadic_negate_add(m, limb_of(dst, i, n).data(),
+                            limb_of(src, i, n).data(), n);
+    // Same accounting as the unfused negate + add chain.
+    xf::op_counts().poly_add += 2 * n;
+  });
+}
+
+void PolyBackend::fma_into(const poly::PolyContext& ctx, std::span<u64> out,
+                           std::span<const u64> base, std::span<const u64> a,
+                           std::span<const u64> b, std::size_t limbs) {
+  const std::size_t n = ctx.n();
+  parallel_for(limbs, [&](std::size_t i, std::size_t) {
+    const simd::DyadicModulus& m = ctx.dyadic(i);
+    simd::dyadic_fma_into(m, limb_of(out, i, n).data(),
+                          limb_of(base, i, n).data(), limb_of(a, i, n).data(),
+                          limb_of(b, i, n).data(), n);
+    // Same accounting as the unfused copy + fma chain.
+    xf::op_counts().poly_mul += n;
+    xf::op_counts().poly_add += n;
+  });
+}
+
 void PolyBackend::mul_scalar(const poly::PolyContext& ctx, std::span<u64> dst,
                              std::size_t limbs, u64 scalar) {
   const std::size_t n = ctx.n();

@@ -80,6 +80,15 @@ class PolyBackend {
   /// dst[j] = -dst[j] (mod q_i).
   virtual void negate(const poly::PolyContext& ctx, std::span<u64> dst,
                       std::size_t limbs);
+  /// dst[j] = src[j] - dst[j] (mod q_i) — fused negate-then-add, one pass.
+  /// Op counts match the unfused chain exactly.
+  virtual void negate_add(const poly::PolyContext& ctx, std::span<u64> dst,
+                          std::span<const u64> src, std::size_t limbs);
+  /// out[j] = base[j] + a[j] * b[j] (mod q_i) — fused copy-then-fma, one
+  /// pass. out may alias base but not a or b.
+  virtual void fma_into(const poly::PolyContext& ctx, std::span<u64> out,
+                        std::span<const u64> base, std::span<const u64> a,
+                        std::span<const u64> b, std::size_t limbs);
   /// dst[j] = dst[j] * (scalar mod q_i) (mod q_i).
   virtual void mul_scalar(const poly::PolyContext& ctx, std::span<u64> dst,
                           std::size_t limbs, u64 scalar);

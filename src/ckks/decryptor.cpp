@@ -30,9 +30,11 @@ Plaintext Decryptor::decrypt_with(const Ciphertext& ct,
   }
   s.s_.assign_prefix(sk_eval_, limbs);
 
-  // phase = c0 + c1*s (+ c2*s^2); the copy of c0 is the returned plaintext.
-  poly::RnsPoly phase = ct.c(0);
-  phase.fma_inplace(ct.c(1), s.s_);
+  // phase = c0 + c1*s (+ c2*s^2), built in one fused pass instead of
+  // copying c0 and re-streaming it through fma; the result is the
+  // returned plaintext.
+  poly::RnsPoly phase(ct.c(0).context_ptr(), limbs, poly::Domain::kEval);
+  phase.set_fma(ct.c(0), ct.c(1), s.s_);
   if (ct.size() == 3) {
     s.s2_.assign_prefix(s.s_, limbs);
     s.s2_.mul_inplace(s.s_);

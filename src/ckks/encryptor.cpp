@@ -120,8 +120,7 @@ Ciphertext Encryptor::encrypt_symmetric(const Plaintext& pt, u64 raw_id,
   sk.assign_prefix(*sk_eval_, limbs);
   poly::RnsPoly c0 = a;
   c0.mul_inplace(sk);
-  c0.negate_inplace();
-  c0.add_inplace(me);
+  c0.negate_add_inplace(me);  // fused -(a*s) + (m+e)
 
   Ciphertext ct{{std::move(c0), std::move(a)}, pt.scale,
                 CompressedComponent{id}};

@@ -2,6 +2,9 @@
 
 #include <cmath>
 
+#include "backend/poly_backend.hpp"
+#include "simd/dyadic_kernels.hpp"
+
 namespace abc::ckks {
 namespace {
 
@@ -17,6 +20,20 @@ void check_binop(const Ciphertext& a, const Ciphertext& b) {
 Evaluator::Evaluator(std::shared_ptr<const CkksContext> ctx)
     : ctx_(ctx), switcher_(std::move(ctx)) {
   ABC_CHECK_ARG(ctx_ != nullptr, "null context");
+  const poly::PolyContext& pctx = *ctx_->poly_context();
+  rescale_consts_.resize(ctx_->max_limbs());
+  for (std::size_t last = 1; last < ctx_->max_limbs(); ++last) {
+    const rns::Modulus& q_last = pctx.modulus(last);
+    const u64 half = q_last.value() >> 1;
+    std::vector<RescaleConst>& row = rescale_consts_[last];
+    row.reserve(last);
+    for (std::size_t i = 0; i < last; ++i) {
+      const rns::Modulus& qi = pctx.modulus(i);
+      row.push_back(RescaleConst{
+          rns::ShoupMul::make(qi.inv(qi.reduce(q_last.value())), qi),
+          qi.reduce(half)});
+    }
+  }
 }
 
 void Evaluator::relinearize_inplace(Ciphertext& ct, const RelinKey& rlk,
@@ -201,23 +218,27 @@ void Evaluator::rescale_poly(poly::RnsPoly& p) const {
   const u64 half = q_last.value() >> 1;
   for (u64& v : c_last) v = q_last.add(v, half);
 
-  std::vector<u64> tmp(p.n());
-  for (std::size_t i = 0; i < last; ++i) {
+  // Per-limb correction, fanned out across the backend (each limb owns its
+  // output and a per-worker staging buffer, so the result is bit-identical
+  // at any worker count). Constants come from the constructor cache.
+  backend::PolyBackend& be = pctx.backend();
+  const std::size_t n = p.n();
+  std::vector<u64> tmp(be.workers() * n);
+  const std::vector<RescaleConst>& consts = rescale_consts_[last];
+  be.parallel_for(last, [&](std::size_t i, std::size_t worker) {
     const rns::Modulus& qi = pctx.modulus(i);
-    const u64 half_mod_qi = qi.reduce(half);
-    const u64 inv_q_last = qi.inv(qi.reduce(q_last.value()));
-    // tmp = NTT_i( (c_last + half) mod q_i - half )
-    for (std::size_t j = 0; j < tmp.size(); ++j) {
-      tmp[j] = qi.sub(qi.reduce(c_last[j]), half_mod_qi);
+    const RescaleConst& rc = consts[i];
+    const std::span<u64> t(tmp.data() + worker * n, n);
+    // t = NTT_i( (c_last + half) mod q_i - half )
+    for (std::size_t j = 0; j < n; ++j) {
+      t[j] = qi.sub(qi.reduce(c_last[j]), rc.half_mod_qi);
     }
-    pctx.ntt(i).forward(tmp);
-    // c_i = (c_i - tmp) * q_last^{-1} mod q_i
-    std::span<u64> dst = p.limb(i);
-    const rns::ShoupMul inv = rns::ShoupMul::make(inv_q_last, qi);
-    for (std::size_t j = 0; j < dst.size(); ++j) {
-      dst[j] = inv.mul(qi.sub(dst[j], tmp[j]), qi.value());
-    }
-  }
+    pctx.ntt(i).forward(t);
+    // c_i = (c_i - t) * q_last^{-1} mod q_i, one fused pass.
+    simd::dyadic_sub_mul_scalar(pctx.dyadic(i), p.limb(i).data(), t.data(),
+                                n, rc.inv_q_last.operand,
+                                rc.inv_q_last.quotient);
+  });
   p.drop_last_limb();
 }
 

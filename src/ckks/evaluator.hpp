@@ -75,6 +75,15 @@ class Evaluator {
   void mod_switch_to_inplace(Ciphertext& ct, std::size_t target_limbs) const;
 
  private:
+  /// Per-(dropped-limb, target-limb) constants of the exact rescale,
+  /// hoisted into the constructor: the seed recomputed the modular inverse
+  /// (an O(log q) exponentiation), its Shoup quotient, and the centering
+  /// offset for every limb on every rescale_poly call.
+  struct RescaleConst {
+    rns::ShoupMul inv_q_last;  // q_last^{-1} mod q_i
+    u64 half_mod_qi = 0;       // floor(q_last / 2) mod q_i
+  };
+
   void rescale_poly(poly::RnsPoly& p) const;
   void decompose_c1(const Ciphertext& ct, KeySwitchScratch& scratch) const;
   void rotate_into(const Ciphertext& ct, int step, const GaloisKeys& gks,
@@ -82,6 +91,8 @@ class Evaluator {
 
   std::shared_ptr<const CkksContext> ctx_;
   KeySwitcher switcher_;
+  // rescale_consts_[last][i]: dropping limb `last`, correcting limb i.
+  std::vector<std::vector<RescaleConst>> rescale_consts_;
 };
 
 }  // namespace abc::ckks

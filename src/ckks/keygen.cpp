@@ -155,8 +155,7 @@ PublicKey KeyGenerator::public_key(const SecretKey& sk) {
 
   poly::RnsPoly b = a;           // deep copy
   b.mul_inplace(sk.s);           // a * s
-  b.negate_inplace();            // -(a * s)
-  b.add_inplace(e);              // + e
+  b.negate_add_inplace(e);       // fused -(a * s) + e
   return PublicKey{std::move(b), std::move(a), id};
 }
 

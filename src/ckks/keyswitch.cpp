@@ -142,23 +142,22 @@ void KeySwitcher::accumulate(const KeySwitchKey& key,
 
   // Inner-product accumulation, partitioned per target limb: limb j of
   // both outputs sums digit * key over all digits, so no two workers ever
-  // touch one accumulator and digit order is fixed (bit-determinism).
-  be.parallel_for(ext, [&](std::size_t j, std::size_t worker) {
+  // touch one accumulator and digit order is fixed (bit-determinism). The
+  // fused kernel folds the eval-domain permutation gather and both
+  // accumulations into one pass over the digit — no scratch staging.
+  const u32* perm = eval_perm.empty() ? nullptr : eval_perm.data();
+  be.parallel_for(ext, [&](std::size_t j, std::size_t) {
     const std::size_t jidx = j < level ? j : special_;
     const simd::DyadicModulus& dm = pctx.dyadic(jidx);
     u64* acc0 = j < level ? out0.limb(j).data() : scratch.acc_p0.data();
     u64* acc1 = j < level ? out1.limb(j).data() : scratch.acc_p1.data();
     std::fill(acc0, acc0 + n, 0);
     std::fill(acc1, acc1 + n, 0);
-    const std::span<u64> tmp = slice(scratch.tmp, worker, n);
     for (std::size_t d = 0; d < level; ++d) {
       const u64* digit = slice(scratch.digits, d * ext + j, n).data();
-      if (!eval_perm.empty()) {
-        for (std::size_t i = 0; i < n; ++i) tmp[i] = digit[eval_perm[i]];
-        digit = tmp.data();
-      }
-      simd::dyadic_fma(dm, acc0, digit, key.b[d].limb(jidx).data(), n);
-      simd::dyadic_fma(dm, acc1, digit, key.a[d].limb(jidx).data(), n);
+      simd::dyadic_fma_accumulate(dm, acc0, acc1, digit,
+                                  key.b[d].limb(jidx).data(),
+                                  key.a[d].limb(jidx).data(), perm, n);
       xf::op_counts().poly_mul += 2 * n;
       xf::op_counts().poly_add += 2 * n;
     }
@@ -188,9 +187,9 @@ void KeySwitcher::accumulate(const KeySwitchKey& key,
     pctx.ntt(j).forward(tmp);
     const std::span<u64> dst = outs[c]->limb(j);
     const simd::DyadicModulus& dm = pctx.dyadic(j);
-    simd::dyadic_sub(dm, dst.data(), tmp.data(), n);
-    simd::dyadic_mul_scalar(dm, dst.data(), n, p_inv_[j].operand,
-                            p_inv_[j].quotient);
+    // Fused (dst - tmp) * P^{-1}: one pass instead of sub + mul_scalar.
+    simd::dyadic_sub_mul_scalar(dm, dst.data(), tmp.data(), n,
+                                p_inv_[j].operand, p_inv_[j].quotient);
     xf::op_counts().poly_mul += n;
     xf::op_counts().poly_add += 2 * n;
   });

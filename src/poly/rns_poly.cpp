@@ -88,6 +88,23 @@ void RnsPoly::fma_inplace(const RnsPoly& a, const RnsPoly& b) {
   ctx_->backend().fma(*ctx_, data_, a.data_, b.data_, limbs_);
 }
 
+void RnsPoly::negate_add_inplace(const RnsPoly& other) {
+  check_compatible(other);
+  ctx_->backend().negate_add(*ctx_, data_, other.data_, limbs_);
+}
+
+void RnsPoly::set_fma(const RnsPoly& base, const RnsPoly& a,
+                      const RnsPoly& b) {
+  ABC_CHECK_ARG(ctx_.get() == base.ctx_.get(), "context mismatch");
+  base.check_compatible(a);
+  base.check_compatible(b);
+  ABC_CHECK_ARG(base.domain_ == Domain::kEval,
+                "fused multiply-add requires evaluation domain");
+  reset(base.limbs_, base.domain_);
+  ctx_->backend().fma_into(*ctx_, data_, base.data_, a.data_, b.data_,
+                           limbs_);
+}
+
 void RnsPoly::mul_scalar_inplace(u64 scalar) {
   ctx_->backend().mul_scalar(*ctx_, data_, limbs_, scalar);
 }

@@ -68,6 +68,11 @@ class RnsPoly {
   void mul_inplace(const RnsPoly& other);
   /// this += a * b (single pass, evaluation domain).
   void fma_inplace(const RnsPoly& a, const RnsPoly& b);
+  /// this = other - this (fused negate-then-add, one pass).
+  void negate_add_inplace(const RnsPoly& other);
+  /// this = base + a * b (fused copy-then-fma, one pass; evaluation
+  /// domain). Adopts base's domain/limbs; this must not alias a or b.
+  void set_fma(const RnsPoly& base, const RnsPoly& a, const RnsPoly& b);
   /// Multiply limb i by scalar mod q_i (same scalar reduced per limb).
   void mul_scalar_inplace(u64 scalar);
 

@@ -3,6 +3,7 @@
 #include "common/check.hpp"
 #include "rns/modulus.hpp"
 #include "simd/kernels_avx2.hpp"
+#include "simd/kernels_avx512.hpp"
 #include "simd/simd_caps.hpp"
 
 namespace abc::simd {
@@ -17,6 +18,9 @@ DyadicModulus DyadicModulus::make(const rns::Modulus& q) {
   m.shift = q.bit_count() - 1;
   // q > 2^shift strictly (q is not a power of two), so the ratio fits.
   m.ratio = static_cast<u64>((static_cast<u128>(1) << (64 + m.shift)) / qv);
+  // floor(ratio / 2^12) == floor(2^(52+shift) / q): exact, no re-division.
+  m.ratio52 = m.ratio >> 12;
+  m.ifma_ok = q.bit_count() <= kIfmaMaxPrimeBits;
   return m;
 }
 
@@ -71,45 +75,219 @@ void dyadic_mul_scalar_portable(const DyadicModulus& m, u64* dst,
   }
 }
 
-namespace {
-inline bool use_avx2() noexcept {
-  return active_kernel_arch() == KernelArch::kAvx2;
+// The fused portable loops below use sign-bit mask arithmetic instead of
+// ternaries: for x < 2^63 the borrow/overflow condition IS the top bit of
+// the wrapped difference, so `t + (q & (i64(t) >> 63))` canonicalizes
+// without any compare. Ring operands are canonical (< q < 2^62), so the
+// precondition always holds. Two wins over the conditional forms: the
+// operands are uniformly random, so a conditional branch mispredicts ~50%
+// of the time, and the compare-free shape is one GCC auto-vectorizes at
+// the baseline ISA (64-bit compares are not portably vectorizable, shifts
+// and masks are). The results are bit-identical to the unfused chains.
+
+void dyadic_fma_accumulate_portable(const DyadicModulus& m, u64* acc0,
+                                    u64* acc1, const u64* digit, const u64* b,
+                                    const u64* a, const u32* perm,
+                                    std::size_t n) {
+  // Block-staged: the permutation gather lands in an L1-resident scratch
+  // block and both fma passes consume it immediately, instead of staging
+  // the whole ring through a full-size temporary as the unfused chain
+  // does. The per-block loops keep the tight two-load fma codegen.
+  constexpr std::size_t kBlock = 2048;
+  u64 tmp[kBlock];
+  for (std::size_t j0 = 0; j0 < n; j0 += kBlock) {
+    const std::size_t len = j0 + kBlock <= n ? kBlock : n - j0;
+    const u64* d = digit + j0;
+    if (perm != nullptr) {
+      for (std::size_t j = 0; j < len; ++j) tmp[j] = digit[perm[j0 + j]];
+      d = tmp;
+    }
+    dyadic_fma_portable(m, acc0 + j0, d, b + j0, len);
+    dyadic_fma_portable(m, acc1 + j0, d, a + j0, len);
+  }
 }
+
+void dyadic_negate_add_portable(const DyadicModulus& m, u64* dst,
+                                const u64* src, std::size_t n) {
+  const u64 q = m.q;
+  for (std::size_t j = 0; j < n; ++j) {
+    const u64 t = src[j] - dst[j];
+    dst[j] = t + (q & static_cast<u64>(static_cast<i64>(t) >> 63));
+  }
+}
+
+void dyadic_sub_mul_scalar_portable(const DyadicModulus& m, u64* dst,
+                                    const u64* src, std::size_t n, u64 s,
+                                    u64 s_shoup) {
+  const u64 q = m.q;
+  for (std::size_t j = 0; j < n; ++j) {
+    const u64 d = dst[j] - src[j];
+    const u64 t = d + (q & static_cast<u64>(static_cast<i64>(d) >> 63));
+    const u64 r = t * s - mul_hi(t, s_shoup) * q;  // lazy, < 2q
+    const u64 c = r - q;
+    dst[j] = c + (q & static_cast<u64>(static_cast<i64>(c) >> 63));
+  }
+}
+
+void dyadic_fma_into_portable(const DyadicModulus& m, u64* out,
+                              const u64* base, const u64* a, const u64* b,
+                              std::size_t n) {
+  const u64 q = m.q;
+  for (std::size_t j = 0; j < n; ++j) {
+    const u64 s = base[j] + m.mul(a[j], b[j]);
+    const u64 c = s - q;
+    out[j] = c + (q & static_cast<u64>(static_cast<i64>(c) >> 63));
+  }
+}
+
+namespace {
+
+// The multiply-free kernels work at any prime width on every tier; the
+// multiplying kernels additionally require ifma_ok on the AVX-512 tier
+// (52-bit operand contract) and drop to the AVX2 implementations for wider
+// primes — any CPU that passed the avx512ifma cpuid check has AVX2.
+
+inline KernelArch arch() noexcept { return active_kernel_arch(); }
+
 }  // namespace
 
 void dyadic_add(const DyadicModulus& m, u64* dst, const u64* src,
                 std::size_t n) {
-  use_avx2() ? dyadic_add_avx2(m, dst, src, n)
-             : dyadic_add_portable(m, dst, src, n);
+  switch (arch()) {
+    case KernelArch::kAvx512Ifma:
+      return dyadic_add_avx512(m, dst, src, n);
+    case KernelArch::kAvx2:
+      return dyadic_add_avx2(m, dst, src, n);
+    case KernelArch::kPortable:
+      break;
+  }
+  dyadic_add_portable(m, dst, src, n);
 }
 
 void dyadic_sub(const DyadicModulus& m, u64* dst, const u64* src,
                 std::size_t n) {
-  use_avx2() ? dyadic_sub_avx2(m, dst, src, n)
-             : dyadic_sub_portable(m, dst, src, n);
+  switch (arch()) {
+    case KernelArch::kAvx512Ifma:
+      return dyadic_sub_avx512(m, dst, src, n);
+    case KernelArch::kAvx2:
+      return dyadic_sub_avx2(m, dst, src, n);
+    case KernelArch::kPortable:
+      break;
+  }
+  dyadic_sub_portable(m, dst, src, n);
 }
 
 void dyadic_mul(const DyadicModulus& m, u64* dst, const u64* src,
                 std::size_t n) {
-  use_avx2() ? dyadic_mul_avx2(m, dst, src, n)
-             : dyadic_mul_portable(m, dst, src, n);
+  switch (arch()) {
+    case KernelArch::kAvx512Ifma:
+      if (m.ifma_ok) return dyadic_mul_avx512(m, dst, src, n);
+      [[fallthrough]];
+    case KernelArch::kAvx2:
+      return dyadic_mul_avx2(m, dst, src, n);
+    case KernelArch::kPortable:
+      break;
+  }
+  dyadic_mul_portable(m, dst, src, n);
 }
 
 void dyadic_fma(const DyadicModulus& m, u64* dst, const u64* a, const u64* b,
                 std::size_t n) {
-  use_avx2() ? dyadic_fma_avx2(m, dst, a, b, n)
-             : dyadic_fma_portable(m, dst, a, b, n);
+  switch (arch()) {
+    case KernelArch::kAvx512Ifma:
+      if (m.ifma_ok) return dyadic_fma_avx512(m, dst, a, b, n);
+      [[fallthrough]];
+    case KernelArch::kAvx2:
+      return dyadic_fma_avx2(m, dst, a, b, n);
+    case KernelArch::kPortable:
+      break;
+  }
+  dyadic_fma_portable(m, dst, a, b, n);
 }
 
 void dyadic_negate(const DyadicModulus& m, u64* dst, std::size_t n) {
-  use_avx2() ? dyadic_negate_avx2(m, dst, n)
-             : dyadic_negate_portable(m, dst, n);
+  switch (arch()) {
+    case KernelArch::kAvx512Ifma:
+      return dyadic_negate_avx512(m, dst, n);
+    case KernelArch::kAvx2:
+      return dyadic_negate_avx2(m, dst, n);
+    case KernelArch::kPortable:
+      break;
+  }
+  dyadic_negate_portable(m, dst, n);
 }
 
 void dyadic_mul_scalar(const DyadicModulus& m, u64* dst, std::size_t n, u64 s,
                        u64 s_shoup) {
-  use_avx2() ? dyadic_mul_scalar_avx2(m, dst, n, s, s_shoup)
-             : dyadic_mul_scalar_portable(m, dst, n, s, s_shoup);
+  switch (arch()) {
+    case KernelArch::kAvx512Ifma:
+      if (m.ifma_ok) return dyadic_mul_scalar_avx512(m, dst, n, s, s_shoup);
+      [[fallthrough]];
+    case KernelArch::kAvx2:
+      return dyadic_mul_scalar_avx2(m, dst, n, s, s_shoup);
+    case KernelArch::kPortable:
+      break;
+  }
+  dyadic_mul_scalar_portable(m, dst, n, s, s_shoup);
+}
+
+void dyadic_fma_accumulate(const DyadicModulus& m, u64* acc0, u64* acc1,
+                           const u64* digit, const u64* b, const u64* a,
+                           const u32* perm, std::size_t n) {
+  switch (arch()) {
+    case KernelArch::kAvx512Ifma:
+      if (m.ifma_ok)
+        return dyadic_fma_accumulate_avx512(m, acc0, acc1, digit, b, a, perm,
+                                            n);
+      [[fallthrough]];
+    case KernelArch::kAvx2:
+      return dyadic_fma_accumulate_avx2(m, acc0, acc1, digit, b, a, perm, n);
+    case KernelArch::kPortable:
+      break;
+  }
+  dyadic_fma_accumulate_portable(m, acc0, acc1, digit, b, a, perm, n);
+}
+
+void dyadic_negate_add(const DyadicModulus& m, u64* dst, const u64* src,
+                       std::size_t n) {
+  switch (arch()) {
+    case KernelArch::kAvx512Ifma:
+      return dyadic_negate_add_avx512(m, dst, src, n);
+    case KernelArch::kAvx2:
+      return dyadic_negate_add_avx2(m, dst, src, n);
+    case KernelArch::kPortable:
+      break;
+  }
+  dyadic_negate_add_portable(m, dst, src, n);
+}
+
+void dyadic_sub_mul_scalar(const DyadicModulus& m, u64* dst, const u64* src,
+                           std::size_t n, u64 s, u64 s_shoup) {
+  switch (arch()) {
+    case KernelArch::kAvx512Ifma:
+      if (m.ifma_ok)
+        return dyadic_sub_mul_scalar_avx512(m, dst, src, n, s, s_shoup);
+      [[fallthrough]];
+    case KernelArch::kAvx2:
+      return dyadic_sub_mul_scalar_avx2(m, dst, src, n, s, s_shoup);
+    case KernelArch::kPortable:
+      break;
+  }
+  dyadic_sub_mul_scalar_portable(m, dst, src, n, s, s_shoup);
+}
+
+void dyadic_fma_into(const DyadicModulus& m, u64* out, const u64* base,
+                     const u64* a, const u64* b, std::size_t n) {
+  switch (arch()) {
+    case KernelArch::kAvx512Ifma:
+      if (m.ifma_ok) return dyadic_fma_into_avx512(m, out, base, a, b, n);
+      [[fallthrough]];
+    case KernelArch::kAvx2:
+      return dyadic_fma_into_avx2(m, out, base, a, b, n);
+    case KernelArch::kPortable:
+      break;
+  }
+  dyadic_fma_into_portable(m, out, base, a, b, n);
 }
 
 }  // namespace abc::simd

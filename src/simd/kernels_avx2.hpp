@@ -29,5 +29,15 @@ void dyadic_fma_avx2(const DyadicModulus& m, u64* dst, const u64* a,
 void dyadic_negate_avx2(const DyadicModulus& m, u64* dst, std::size_t n);
 void dyadic_mul_scalar_avx2(const DyadicModulus& m, u64* dst, std::size_t n,
                             u64 s, u64 s_shoup);
+void dyadic_fma_accumulate_avx2(const DyadicModulus& m, u64* acc0, u64* acc1,
+                                const u64* digit, const u64* b, const u64* a,
+                                const u32* perm, std::size_t n);
+void dyadic_negate_add_avx2(const DyadicModulus& m, u64* dst, const u64* src,
+                            std::size_t n);
+void dyadic_sub_mul_scalar_avx2(const DyadicModulus& m, u64* dst,
+                                const u64* src, std::size_t n, u64 s,
+                                u64 s_shoup);
+void dyadic_fma_into_avx2(const DyadicModulus& m, u64* out, const u64* base,
+                          const u64* a, const u64* b, std::size_t n);
 
 }  // namespace abc::simd

@@ -6,9 +6,10 @@
 
 namespace abc::simd {
 
-bool avx2_supported() noexcept {
 // __builtin_cpu_supports is a GCC/Clang builtin; other toolchains fall
 // back to portable kernels.
+
+bool avx2_supported() noexcept {
 #if defined(__x86_64__) && defined(__GNUC__)
   return avx2_compiled() && __builtin_cpu_supports("avx2");
 #else
@@ -16,16 +17,47 @@ bool avx2_supported() noexcept {
 #endif
 }
 
+bool avx512ifma_supported() noexcept {
+#if defined(__x86_64__) && defined(__GNUC__)
+  // F for the 512-bit integer core, DQ for vpmullq, IFMA for vpmadd52.
+  return avx512ifma_compiled() && __builtin_cpu_supports("avx512f") &&
+         __builtin_cpu_supports("avx512dq") &&
+         __builtin_cpu_supports("avx512ifma");
+#else
+  return false;
+#endif
+}
+
 namespace {
 
-bool force_portable_env() noexcept {
-  const char* v = std::getenv("ABC_FORCE_PORTABLE_KERNELS");
+bool env_set(const char* name) noexcept {
+  const char* v = std::getenv(name);
   return v != nullptr && std::strcmp(v, "0") != 0;
+}
+
+bool force_portable_env() noexcept {
+  return env_set("ABC_FORCE_PORTABLE_KERNELS");
+}
+
+bool disable_avx512_env() noexcept {
+  return env_set("ABC_DISABLE_AVX512_KERNELS");
 }
 
 std::atomic<KernelArch>& active_slot() noexcept {
   static std::atomic<KernelArch> slot{detected_kernel_arch()};
   return slot;
+}
+
+bool arch_selectable(KernelArch arch) noexcept {
+  switch (arch) {
+    case KernelArch::kPortable:
+      return true;
+    case KernelArch::kAvx2:
+      return avx2_selectable();
+    case KernelArch::kAvx512Ifma:
+      return avx512ifma_selectable();
+  }
+  return false;
 }
 
 }  // namespace
@@ -34,7 +66,13 @@ bool avx2_selectable() noexcept {
   return avx2_supported() && !force_portable_env();
 }
 
+bool avx512ifma_selectable() noexcept {
+  return avx512ifma_supported() && !force_portable_env() &&
+         !disable_avx512_env();
+}
+
 KernelArch detected_kernel_arch() noexcept {
+  if (avx512ifma_selectable()) return KernelArch::kAvx512Ifma;
   return avx2_selectable() ? KernelArch::kAvx2 : KernelArch::kPortable;
 }
 
@@ -43,7 +81,7 @@ KernelArch active_kernel_arch() noexcept {
 }
 
 void set_kernel_arch_for_testing(KernelArch arch) noexcept {
-  if (arch == KernelArch::kAvx2 && !avx2_selectable()) return;
+  if (!arch_selectable(arch)) return;
   active_slot().store(arch, std::memory_order_relaxed);
 }
 
@@ -53,6 +91,8 @@ const char* kernel_arch_name(KernelArch arch) noexcept {
       return "portable";
     case KernelArch::kAvx2:
       return "avx2";
+    case KernelArch::kAvx512Ifma:
+      return "avx512ifma";
   }
   return "unknown";
 }

@@ -3,30 +3,40 @@
 /// @file simd_caps.hpp
 /// Runtime kernel-architecture selection for the src/simd/ kernel layer.
 ///
-/// Two kernel sets exist for the client hot path (NTT butterflies and the
-/// batched dyadic ops): a portable C++ set that compiles everywhere, and an
-/// AVX2 set compiled into a separate translation unit with -mavx2 and picked
-/// at runtime via cpuid. Selection happens once per process:
+/// Three kernel tiers exist for the client hot path (NTT butterflies and
+/// the batched dyadic ops): a portable C++ set that compiles everywhere, an
+/// AVX2 set, and an AVX-512/IFMA set (8-lane butterflies, 52-bit
+/// `vpmadd52` modular multiplies). The SIMD tiers live in separate
+/// translation units compiled with -mavx2 / -mavx512ifma and are picked at
+/// runtime via cpuid. Selection happens once per process:
 ///
 ///   * if the environment variable ABC_FORCE_PORTABLE_KERNELS is set to
 ///     anything but "0", the portable kernels are used unconditionally
 ///     (escape hatch for testing and for ruling the SIMD path out when
 ///     debugging);
-///   * otherwise AVX2 kernels are used when both the build compiled them
-///     (x86-64 toolchain) and the CPU reports AVX2 support;
+///   * if ABC_DISABLE_AVX512_KERNELS is set to anything but "0", the
+///     AVX-512 tier alone is vetoed (the AVX2 tier still dispatches) —
+///     the per-tier counterpart of the portable escape hatch;
+///   * otherwise the highest tier both compiled in AND reported by cpuid
+///     wins: AVX-512/IFMA over AVX2 over portable;
 ///   * tests and benches may override the choice in-process through
-///     set_kernel_arch_for_testing() to exercise both paths regardless of
+///     set_kernel_arch_for_testing() to exercise every path regardless of
 ///     the host environment.
 ///
 /// Whatever the arch, results are bit-identical: every kernel fully reduces
 /// its outputs to the canonical [0, q) representatives, so the choice is
-/// invisible to everything above the kernel layer.
+/// invisible to everything above the kernel layer. The IFMA multiply
+/// kernels additionally require lazy 4q-representatives to fit the 52-bit
+/// multiplier datapath (prime bit-count <= 50); wider primes fall back to
+/// the AVX2 kernels per call without leaving the AVX-512 tier (see
+/// dyadic_kernels.hpp).
 
 namespace abc::simd {
 
 enum class KernelArch {
-  kPortable,  // plain C++ kernels, any target
-  kAvx2,      // AVX2 intrinsics, runtime-detected
+  kPortable,    // plain C++ kernels, any target
+  kAvx2,        // AVX2 intrinsics, runtime-detected
+  kAvx512Ifma,  // AVX-512F/DQ/IFMA intrinsics, runtime-detected
 };
 
 /// True when the AVX2 kernel TU was compiled in (x86-64 build).
@@ -41,17 +51,31 @@ bool avx2_supported() noexcept;
 /// gate their AVX2 passes on this, not on avx2_supported().
 bool avx2_selectable() noexcept;
 
+/// True when the AVX-512/IFMA kernel TU was compiled in (x86-64 build with
+/// a toolchain that accepts -mavx512ifma).
+bool avx512ifma_compiled() noexcept;
+
+/// True when the running CPU supports the AVX-512 subsets the tier uses
+/// (F + DQ + IFMA); false on non-x86 builds.
+bool avx512ifma_supported() noexcept;
+
+/// True when the AVX-512/IFMA kernels may actually be selected: supported
+/// by the host AND vetoed by neither ABC_FORCE_PORTABLE_KERNELS nor
+/// ABC_DISABLE_AVX512_KERNELS. Both vetoes also block in-process
+/// overrides, so tests and benches gate their AVX-512 passes on this.
+bool avx512ifma_selectable() noexcept;
+
 /// The arch the dispatchers currently route to. Resolved once from cpuid
-/// and ABC_FORCE_PORTABLE_KERNELS, unless overridden for testing.
+/// and the env vetoes, unless overridden for testing.
 KernelArch active_kernel_arch() noexcept;
 
-/// Overrides the active arch. kAvx2 requests are ignored when AVX2 is not
-/// selectable (unavailable, or ABC_FORCE_PORTABLE_KERNELS is set), so the
-/// override can never select an illegal or vetoed path. Passing the
-/// detected default re-enables normal behavior.
+/// Overrides the active arch. Requests for a tier that is not selectable
+/// (unavailable hardware, or an env veto) are ignored, so the override can
+/// never select an illegal or vetoed path. Passing the detected default
+/// re-enables normal behavior.
 void set_kernel_arch_for_testing(KernelArch arch) noexcept;
 
-/// The arch detection would pick with no override (env var included).
+/// The arch detection would pick with no override (env vetoes included).
 KernelArch detected_kernel_arch() noexcept;
 
 const char* kernel_arch_name(KernelArch arch) noexcept;

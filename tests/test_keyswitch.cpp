@@ -14,6 +14,7 @@
 #include "ckks/noise.hpp"
 #include "ckks/serialize.hpp"
 #include "engine/batch_keygen.hpp"
+#include "simd/simd_caps.hpp"
 
 namespace abc {
 namespace {
@@ -251,6 +252,41 @@ TEST(Evaluator, HoistedRotateManyMatchesNaiveBitForBit) {
     const ckks::Ciphertext naive = f.eval.rotate(ct, steps[i], gks);
     expect_identical_ct(naive, hoisted[i],
                         "step " + std::to_string(steps[i]));
+  }
+}
+
+TEST(Evaluator, KeySwitchPipelineIsKernelArchInvariant) {
+  // Forced-arch matrix: the relinearize -> rescale -> rotate pipeline
+  // (covering the fused gadget-accumulate, sub_mul_scalar and negate_add
+  // paths on every tier) must produce bit-identical ciphertexts whether
+  // the portable, AVX2 or AVX-512/IFMA kernels execute it.
+  struct ArchGuard {
+    ~ArchGuard() {
+      simd::set_kernel_arch_for_testing(simd::detected_kernel_arch());
+    }
+  } guard;
+  const auto run = [](simd::KernelArch arch) {
+    simd::set_kernel_arch_for_testing(arch);
+    Fixture f;
+    const auto z = random_slots(f.encoder.slots(), 91);
+    const ckks::Ciphertext ct = f.enc.encrypt(f.encoder.encode(z, 2));
+    const ckks::RelinKey rlk = f.keygen.relin_key(f.sk);
+    const std::vector<int> steps = {5};
+    const ckks::GaloisKeys gks = f.keygen.galois_keys(f.sk, steps);
+    ckks::Ciphertext prod = f.eval.mul(ct, ct);
+    f.eval.relinearize_inplace(prod, rlk);
+    f.eval.rescale_inplace(prod);
+    return f.eval.rotate(prod, 5, gks);
+  };
+  std::vector<simd::KernelArch> arches = {simd::KernelArch::kPortable};
+  if (simd::avx2_selectable()) arches.push_back(simd::KernelArch::kAvx2);
+  if (simd::avx512ifma_selectable())
+    arches.push_back(simd::KernelArch::kAvx512Ifma);
+  const ckks::Ciphertext ref = run(arches[0]);
+  for (std::size_t i = 1; i < arches.size(); ++i) {
+    expect_identical_ct(ref, run(arches[i]),
+                        std::string("arch ") +
+                            simd::kernel_arch_name(arches[i]));
   }
 }
 

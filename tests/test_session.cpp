@@ -11,6 +11,7 @@
 #include "engine/batch_decryptor.hpp"
 #include "engine/batch_encryptor.hpp"
 #include "engine/client_session.hpp"
+#include "simd/simd_caps.hpp"
 
 namespace abc {
 namespace {
@@ -95,6 +96,38 @@ TEST(BatchDecryptor, PlaintextsAreThreadCountInvariant) {
     ASSERT_EQ(ref.size(), got.size());
     for (std::size_t i = 0; i < ref.size(); ++i) {
       expect_identical_plaintexts(ref[i], got[i]);
+    }
+  }
+}
+
+TEST(BatchDecryptor, RoundTripIsKernelArchInvariant) {
+  // Forced-arch matrix over the whole client round trip (keygen,
+  // encrypt batch — the fused negate_add path — and decrypt batch — the
+  // fused fma_into path): plaintexts must be byte-identical whether the
+  // portable, AVX2 or AVX-512/IFMA kernels executed.
+  struct ArchGuard {
+    ~ArchGuard() {
+      simd::set_kernel_arch_for_testing(simd::detected_kernel_arch());
+    }
+  } guard;
+  const ckks::CkksParams params = ckks::CkksParams::test_small(10, 3);
+  const auto run = [&](simd::KernelArch arch) {
+    simd::set_kernel_arch_for_testing(arch);
+    RoundTrip rt = make_round_trip(
+        params, std::make_shared<backend::ScalarBackend>(), 4);
+    BatchDecryptor eng(rt.ctx, rt.sk);
+    return eng.decrypt_batch(rt.cts);
+  };
+  std::vector<simd::KernelArch> arches = {simd::KernelArch::kPortable};
+  if (simd::avx2_selectable()) arches.push_back(simd::KernelArch::kAvx2);
+  if (simd::avx512ifma_selectable())
+    arches.push_back(simd::KernelArch::kAvx512Ifma);
+  const auto ref = run(arches[0]);
+  for (std::size_t i = 1; i < arches.size(); ++i) {
+    const auto got = run(arches[i]);
+    ASSERT_EQ(ref.size(), got.size());
+    for (std::size_t p = 0; p < ref.size(); ++p) {
+      expect_identical_plaintexts(ref[p], got[p]);
     }
   }
 }

@@ -33,12 +33,15 @@ std::vector<u64> random_poly(std::size_t n, u64 q, u64 seed) {
   return a;
 }
 
-/// All kernel arches exercisable in this process (portable always; AVX2
-/// when the build and CPU support it AND ABC_FORCE_PORTABLE_KERNELS does
-/// not veto it — the escape hatch blocks in-process overrides too).
+/// All kernel arches exercisable in this process (portable always; the
+/// SIMD tiers when the build and CPU support them AND no env veto —
+/// ABC_FORCE_PORTABLE_KERNELS / ABC_DISABLE_AVX512_KERNELS block
+/// in-process overrides too).
 std::vector<simd::KernelArch> available_arches() {
   std::vector<simd::KernelArch> arches = {simd::KernelArch::kPortable};
   if (simd::avx2_selectable()) arches.push_back(simd::KernelArch::kAvx2);
+  if (simd::avx512ifma_selectable())
+    arches.push_back(simd::KernelArch::kAvx512Ifma);
   return arches;
 }
 
@@ -59,6 +62,24 @@ TEST(SimdCaps, ArchNamesAreStable) {
   EXPECT_STREQ(simd::kernel_arch_name(simd::KernelArch::kPortable),
                "portable");
   EXPECT_STREQ(simd::kernel_arch_name(simd::KernelArch::kAvx2), "avx2");
+  EXPECT_STREQ(simd::kernel_arch_name(simd::KernelArch::kAvx512Ifma),
+               "avx512ifma");
+}
+
+TEST(SimdCaps, Avx512SelectionImpliesSupport) {
+  // selectable => supported => compiled; the detected arch is always
+  // selectable.
+  if (simd::avx512ifma_selectable()) {
+    EXPECT_TRUE(simd::avx512ifma_supported());
+    EXPECT_TRUE(simd::avx512ifma_compiled());
+  }
+  ArchGuard guard;
+  simd::set_kernel_arch_for_testing(simd::KernelArch::kAvx512Ifma);
+  if (simd::avx512ifma_selectable()) {
+    EXPECT_EQ(simd::active_kernel_arch(), simd::KernelArch::kAvx512Ifma);
+  } else {
+    EXPECT_NE(simd::active_kernel_arch(), simd::KernelArch::kAvx512Ifma);
+  }
 }
 
 // -- NTT parity --------------------------------------------------------------
@@ -253,6 +274,105 @@ TEST_F(DyadicKernelTest, AllOpsMatchModulusReferenceOnAllArches) {
       simd::dyadic_mul_scalar(dm, d.data(), kN, s.operand, s.quotient);
       EXPECT_EQ(d, ref_muls) << "mul_scalar " << an << " bits=" << bits;
     }
+  }
+}
+
+TEST_F(DyadicKernelTest, FusedKernelsMatchUnfusedChainsOnAllArches) {
+  ArchGuard guard;
+  // 51 and 59 bits exceed kIfmaMaxPrimeBits: on the AVX-512 tier the
+  // multiplying fused kernels must take the per-call AVX2 fallback and
+  // still match bit-exactly.
+  for (int bits : {32, 36, 45, 50, 51, 59}) {
+    const rns::Modulus q(rns::select_prime_chain(bits, 10, 1)[0]);
+    const simd::DyadicModulus dm = simd::DyadicModulus::make(q);
+    const std::vector<u64> a = random_poly(kN, q.value(), 11);
+    const std::vector<u64> b = random_poly(kN, q.value(), 12);
+    const std::vector<u64> digit = random_poly(kN, q.value(), 13);
+    const std::vector<u64> base = random_poly(kN, q.value(), 14);
+    const rns::ShoupMul s = rns::ShoupMul::make(q.reduce(123456789), q);
+    std::vector<u32> perm(kN);
+    std::mt19937_64 rng(15);
+    for (std::size_t j = 0; j < kN; ++j) perm[j] = static_cast<u32>(j);
+    std::shuffle(perm.begin(), perm.end(), rng);
+
+    // Unfused reference chains, portable ops only.
+    std::vector<u64> ref_acc0 = a, ref_acc1 = b;
+    {
+      std::vector<u64> staged(kN);
+      for (std::size_t j = 0; j < kN; ++j) staged[j] = digit[perm[j]];
+      simd::dyadic_fma_portable(dm, ref_acc0.data(), staged.data(), b.data(),
+                                kN);
+      simd::dyadic_fma_portable(dm, ref_acc1.data(), staged.data(), a.data(),
+                                kN);
+    }
+    std::vector<u64> ref_na = a;
+    simd::dyadic_negate_portable(dm, ref_na.data(), kN);
+    simd::dyadic_add_portable(dm, ref_na.data(), b.data(), kN);
+    std::vector<u64> ref_sms = a;
+    simd::dyadic_sub_portable(dm, ref_sms.data(), b.data(), kN);
+    simd::dyadic_mul_scalar_portable(dm, ref_sms.data(), kN, s.operand,
+                                     s.quotient);
+    std::vector<u64> ref_fi = base;
+    simd::dyadic_fma_portable(dm, ref_fi.data(), a.data(), b.data(), kN);
+
+    for (simd::KernelArch arch : available_arches()) {
+      simd::set_kernel_arch_for_testing(arch);
+      const char* an = simd::kernel_arch_name(arch);
+
+      std::vector<u64> acc0 = a, acc1 = b;
+      simd::dyadic_fma_accumulate(dm, acc0.data(), acc1.data(), digit.data(),
+                                  b.data(), a.data(), perm.data(), kN);
+      EXPECT_EQ(acc0, ref_acc0) << "fma_accumulate/perm acc0 " << an
+                                << " bits=" << bits;
+      EXPECT_EQ(acc1, ref_acc1) << "fma_accumulate/perm acc1 " << an
+                                << " bits=" << bits;
+
+      // No-perm variant against a no-perm reference.
+      std::vector<u64> acc0n = a, acc1n = b;
+      simd::dyadic_fma_accumulate(dm, acc0n.data(), acc1n.data(),
+                                  digit.data(), b.data(), a.data(), nullptr,
+                                  kN);
+      std::vector<u64> rn0 = a, rn1 = b;
+      simd::dyadic_fma_portable(dm, rn0.data(), digit.data(), b.data(), kN);
+      simd::dyadic_fma_portable(dm, rn1.data(), digit.data(), a.data(), kN);
+      EXPECT_EQ(acc0n, rn0) << "fma_accumulate acc0 " << an
+                            << " bits=" << bits;
+      EXPECT_EQ(acc1n, rn1) << "fma_accumulate acc1 " << an
+                            << " bits=" << bits;
+
+      std::vector<u64> d = a;
+      simd::dyadic_negate_add(dm, d.data(), b.data(), kN);
+      EXPECT_EQ(d, ref_na) << "negate_add " << an << " bits=" << bits;
+
+      d = a;
+      simd::dyadic_sub_mul_scalar(dm, d.data(), b.data(), kN, s.operand,
+                                  s.quotient);
+      EXPECT_EQ(d, ref_sms) << "sub_mul_scalar " << an << " bits=" << bits;
+
+      std::vector<u64> out(kN, ~u64{0});
+      simd::dyadic_fma_into(dm, out.data(), base.data(), a.data(), b.data(),
+                            kN);
+      EXPECT_EQ(out, ref_fi) << "fma_into " << an << " bits=" << bits;
+    }
+  }
+}
+
+TEST_F(DyadicKernelTest, IfmaPrimeConstraintIsComputedOnce) {
+  // The 52-bit IFMA datapath accepts primes up to kIfmaMaxPrimeBits; wider
+  // primes must carry ifma_ok == false so dispatch falls back to AVX2.
+  for (int bits : {32, 45, 50}) {
+    const rns::Modulus q(rns::select_prime_chain(bits, 10, 1)[0]);
+    const simd::DyadicModulus dm = simd::DyadicModulus::make(q);
+    EXPECT_TRUE(dm.ifma_ok) << "bits=" << bits;
+    // ratio52 is the exact base-2^52 Barrett constant (floor identity).
+    EXPECT_EQ(dm.ratio52, dm.ratio >> 12);
+    EXPECT_EQ(dm.ratio52,
+              static_cast<u64>((static_cast<u128>(1) << (52 + dm.shift)) /
+                               q.value()));
+  }
+  for (int bits : {51, 59}) {
+    const rns::Modulus q(rns::select_prime_chain(bits, 10, 1)[0]);
+    EXPECT_FALSE(simd::DyadicModulus::make(q).ifma_ok) << "bits=" << bits;
   }
 }
 
