@@ -7,6 +7,7 @@
 /// tested against (bit-identical outputs, identical op counts).
 
 #include "backend/poly_backend.hpp"
+#include "common/failpoint.hpp"
 
 namespace abc::backend {
 
@@ -16,7 +17,12 @@ class ScalarBackend final : public PolyBackend {
   std::size_t workers() const noexcept override { return 1; }
 
   void parallel_for(std::size_t count, const Job& job) override {
-    for (std::size_t i = 0; i < count; ++i) job(i, 0);
+    for (std::size_t i = 0; i < count; ++i) {
+      // Same injection site as the pool's worker body, so a fault sweep
+      // exercises identical failure semantics on every backend.
+      ABC_FAILPOINT(fail::points::kBackendWorkerJob);
+      job(i, 0);
+    }
   }
 };
 

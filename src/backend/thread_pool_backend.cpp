@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/failpoint.hpp"
+
 namespace abc::backend {
 
 namespace {
@@ -56,6 +58,7 @@ void ThreadPoolBackend::run_share(Task& task, std::size_t worker_id) {
     const std::size_t i = task.next.fetch_add(1, std::memory_order_relaxed);
     if (i >= task.count) break;
     try {
+      ABC_FAILPOINT(fail::points::kBackendWorkerJob);
       (*task.job)(i, worker_id);
     } catch (...) {
       // Park the first exception for the submitting thread; the item still
@@ -84,7 +87,12 @@ void ThreadPoolBackend::parallel_for(std::size_t count, const Job& job) {
   if (count == 0) return;
   if (tls_pool == this) {
     // Nested region from one of our own workers: run inline on its lane.
-    for (std::size_t i = 0; i < count; ++i) job(i, tls_worker);
+    // A throw here unwinds into the outer job, whose run_share parks it —
+    // the same first-exception-wins contract as a top-level region.
+    for (std::size_t i = 0; i < count; ++i) {
+      ABC_FAILPOINT(fail::points::kBackendNestedJob);
+      job(i, tls_worker);
+    }
     return;
   }
 

@@ -4,6 +4,7 @@
 
 #include "backend/poly_backend.hpp"
 #include "common/bitops.hpp"
+#include "common/failpoint.hpp"
 #include "simd/dyadic_kernels.hpp"
 #include "transform/op_counter.hpp"
 
@@ -83,6 +84,9 @@ void KeySwitcher::decompose(const poly::RnsPoly& c_coeff,
   const std::size_t ext = level + 1;  // target limbs: {0..level-1, P}
 
   scratch.level = level;
+  // Scratch acquisition is the allocation point of the whole switch; a
+  // fault here models memory pressure before any digit is written.
+  ABC_FAILPOINT(fail::points::kKeySwitchScratch);
   scratch.w.resize(level * n);
   scratch.digits.resize(level * ext * n);
 

@@ -5,6 +5,7 @@
 
 #include "ckks/keygen.hpp"
 #include "common/bitops.hpp"
+#include "common/failpoint.hpp"
 
 namespace abc::ckks {
 namespace {
@@ -91,6 +92,7 @@ struct KeyHeader {
 };
 
 KeyHeader unpack_key_header(BitUnpacker& unpacker) {
+  ABC_FAILPOINT(fail::points::kDeserializeKey);
   ABC_CHECK_ARG(unpacker.read(32) == kKeyMagic, "bad key magic");
   KeyHeader h;
   h.bits_per_coeff = static_cast<int>(unpacker.read(8));
@@ -179,6 +181,7 @@ std::vector<u8> serialize_ciphertext(const Ciphertext& ct,
 Ciphertext deserialize_ciphertext(
     const std::shared_ptr<const CkksContext>& ctx,
     std::span<const u8> bytes) {
+  ABC_FAILPOINT(fail::points::kDeserializeCiphertext);
   BitUnpacker unpacker(bytes);
   ABC_CHECK_ARG(unpacker.read(32) == kMagic, "bad magic");
   const int bits_per_coeff = static_cast<int>(unpacker.read(8));
@@ -246,6 +249,7 @@ std::vector<Ciphertext> deserialize_ciphertext_batch(
     const std::shared_ptr<const CkksContext>& ctx,
     std::span<const u8> bytes) {
   ABC_CHECK_ARG(ctx != nullptr, "null context");
+  ABC_FAILPOINT(fail::points::kDeserializeBatch);
   std::size_t pos = 0;
   const auto get_u32 = [&bytes, &pos]() -> u64 {
     ABC_CHECK_ARG(pos + 4 <= bytes.size(), "batch envelope truncated");

@@ -1,0 +1,285 @@
+#include "common/failpoint.hpp"
+
+#include <charconv>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <new>
+#include <stdexcept>
+#include <thread>
+
+#include "common/check.hpp"
+
+namespace abc::fail {
+namespace {
+
+/// splitmix64: tiny, seedable, and statistically fine for fault sampling.
+/// The prng/ layer's ChaCha20 is not used here — common/ sits below it,
+/// and fault decisions need no cryptographic strength.
+u64 splitmix64(u64& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  u64 z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+struct PointState {
+  Policy policy;
+  u64 hits = 0;
+  u64 fires = 0;
+  u64 prng = 0;  // splitmix64 state, seeded from policy.seed on arm
+  // A point that reached max_fires stays registered (so hits/fires remain
+  // readable by tests) but never fires again until re-armed or disarmed.
+  bool exhausted = false;
+};
+
+struct Registry {
+  std::mutex m;
+  std::map<std::string, PointState, std::less<>> points;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry;  // leaked: outlives static teardown
+  return *r;
+}
+
+[[noreturn]] void fire_throw(const char* name, Action action) {
+  const std::string msg =
+      std::string("injected fault at failpoint '") + name + "'";
+  switch (action) {
+    case Action::kThrowLogicError:
+      throw LogicError(msg);
+    case Action::kThrowRuntimeError:
+      throw std::runtime_error(msg);
+    case Action::kThrowBadAlloc:
+      throw std::bad_alloc();
+    case Action::kThrowInvalidArgument:
+    default:
+      throw InvalidArgument(msg);
+  }
+}
+
+// ---- env spec parsing -------------------------------------------------------
+
+void spec_error(std::string_view spec, const std::string& why) {
+  throw InvalidArgument("bad ABC_FAILPOINTS spec \"" + std::string(spec) +
+                        "\": " + why);
+}
+
+u64 parse_u64(std::string_view spec, std::string_view text,
+              std::string_view what) {
+  u64 value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    spec_error(spec, "expected an integer for " + std::string(what));
+  }
+  return value;
+}
+
+double parse_probability(std::string_view spec, std::string_view text) {
+  // std::from_chars for double is spotty across libstdc++ versions the CI
+  // matrix uses; strtod on a bounded copy is portable and exact enough.
+  const std::string copy(text);
+  char* end = nullptr;
+  const double p = std::strtod(copy.c_str(), &end);
+  if (end != copy.c_str() + copy.size() || !(p >= 0.0) || !(p <= 1.0)) {
+    spec_error(spec, "prob wants a probability in [0, 1]");
+  }
+  return p;
+}
+
+void parse_entry(std::string_view spec, std::string_view entry) {
+  const std::size_t eq = entry.find('=');
+  if (eq == std::string_view::npos || eq == 0) {
+    spec_error(spec, "entry \"" + std::string(entry) + "\" is not name=action");
+  }
+  const std::string_view name = entry.substr(0, eq);
+  std::string_view rest = entry.substr(eq + 1);
+
+  Policy policy;
+  std::string_view action = rest;
+  const std::size_t at = rest.find('@');
+  if (at != std::string_view::npos) {
+    action = rest.substr(0, at);
+    rest = rest.substr(at + 1);
+  } else {
+    rest = {};
+  }
+
+  if (action == "throw") {
+    policy.action = Action::kThrowInvalidArgument;
+  } else if (action == "logic") {
+    policy.action = Action::kThrowLogicError;
+  } else if (action == "runtime") {
+    policy.action = Action::kThrowRuntimeError;
+  } else if (action == "badalloc") {
+    policy.action = Action::kThrowBadAlloc;
+  } else if (action.starts_with("delay:")) {
+    policy.action = Action::kDelay;
+    policy.delay_us = parse_u64(spec, action.substr(6), "delay");
+  } else {
+    spec_error(spec, "unknown action \"" + std::string(action) + "\"");
+  }
+
+  while (!rest.empty()) {
+    const std::size_t comma = rest.find(',');
+    const std::string_view mod = rest.substr(0, comma);
+    rest = comma == std::string_view::npos ? std::string_view{}
+                                           : rest.substr(comma + 1);
+    if (mod.starts_with("hit:")) {
+      policy.trigger = Trigger::kNthHit;
+      policy.nth = parse_u64(spec, mod.substr(4), "hit");
+      if (policy.nth == 0) spec_error(spec, "hit is 1-based");
+    } else if (mod.starts_with("prob:")) {
+      policy.trigger = Trigger::kProbability;
+      std::string_view p = mod.substr(5);
+      const std::size_t slash = p.find('/');
+      if (slash != std::string_view::npos) {
+        policy.seed = parse_u64(spec, p.substr(slash + 1), "seed");
+        p = p.substr(0, slash);
+      }
+      policy.probability = parse_probability(spec, p);
+    } else if (mod.starts_with("limit:")) {
+      policy.max_fires = parse_u64(spec, mod.substr(6), "limit");
+      if (policy.max_fires == 0) spec_error(spec, "limit is at least 1");
+    } else {
+      spec_error(spec, "unknown modifier \"" + std::string(mod) + "\"");
+    }
+  }
+  arm(name, policy);
+}
+
+/// Installs ABC_FAILPOINTS at static-init time so the very first hit —
+/// wherever it lands — already sees the armed policies. A malformed spec
+/// aborts: silently ignoring it would run a fault-injection job that
+/// injects nothing.
+const bool g_env_installed = [] {
+  const char* env = std::getenv("ABC_FAILPOINTS");
+  if (env == nullptr || *env == '\0') return false;
+  try {
+    install_spec(env);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    std::_Exit(2);
+  }
+  return true;
+}();
+
+}  // namespace
+
+namespace detail {
+
+std::atomic<int> g_armed_count{0};
+
+void hit(const char* name) {
+  Action action = Action::kThrowInvalidArgument;
+  u64 delay_us = 0;
+  bool fired = false;
+  {
+    Registry& reg = registry();
+    std::lock_guard<std::mutex> lk(reg.m);
+    const auto it = reg.points.find(std::string_view(name));
+    if (it == reg.points.end()) return;
+    PointState& state = it->second;
+    state.hits += 1;
+    if (state.exhausted) return;
+    switch (state.policy.trigger) {
+      case Trigger::kAlways:
+        fired = true;
+        break;
+      case Trigger::kNthHit:
+        fired = state.hits == state.policy.nth;
+        break;
+      case Trigger::kProbability:
+        fired = static_cast<double>(splitmix64(state.prng) >> 11) *
+                    0x1.0p-53 <
+                state.policy.probability;
+        break;
+    }
+    if (!fired) return;
+    state.fires += 1;
+    action = state.policy.action;
+    delay_us = state.policy.delay_us;
+    if (state.policy.max_fires != 0 &&
+        state.fires >= state.policy.max_fires) {
+      state.exhausted = true;
+    }
+  }
+  // Act outside the lock: a sleeping or throwing point must not serialize
+  // (or deadlock with) other workers hitting the registry.
+  if (action == Action::kDelay) {
+    std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+    return;
+  }
+  fire_throw(name, action);
+}
+
+}  // namespace detail
+
+void arm(std::string_view name, const Policy& policy) {
+  ABC_CHECK_ARG(!name.empty(), "failpoint name must be non-empty");
+  ABC_CHECK_ARG(policy.probability >= 0.0 && policy.probability <= 1.0,
+                "failpoint probability out of [0, 1]");
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lk(reg.m);
+  auto [it, inserted] = reg.points.try_emplace(std::string(name));
+  it->second = PointState{policy, 0, 0, policy.seed, false};
+  if (inserted) {
+    detail::g_armed_count.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void disarm(std::string_view name) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lk(reg.m);
+  const auto it = reg.points.find(name);
+  if (it == reg.points.end()) return;
+  reg.points.erase(it);
+  detail::g_armed_count.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void disarm_all() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lk(reg.m);
+  detail::g_armed_count.fetch_sub(static_cast<int>(reg.points.size()),
+                                  std::memory_order_relaxed);
+  reg.points.clear();
+}
+
+bool armed(std::string_view name) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lk(reg.m);
+  return reg.points.find(name) != reg.points.end();
+}
+
+u64 hits(std::string_view name) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lk(reg.m);
+  const auto it = reg.points.find(name);
+  return it == reg.points.end() ? 0 : it->second.hits;
+}
+
+u64 fires(std::string_view name) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lk(reg.m);
+  const auto it = reg.points.find(name);
+  return it == reg.points.end() ? 0 : it->second.fires;
+}
+
+void install_spec(std::string_view spec) {
+  std::string_view rest = spec;
+  while (!rest.empty()) {
+    const std::size_t semi = rest.find(';');
+    const std::string_view entry = rest.substr(0, semi);
+    rest = semi == std::string_view::npos ? std::string_view{}
+                                          : rest.substr(semi + 1);
+    if (entry.empty()) continue;  // tolerate trailing/double separators
+    parse_entry(spec, entry);
+  }
+}
+
+}  // namespace abc::fail

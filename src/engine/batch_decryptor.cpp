@@ -4,6 +4,7 @@
 #include <optional>
 
 #include "common/check.hpp"
+#include "common/failpoint.hpp"
 
 namespace abc::engine {
 
@@ -20,6 +21,7 @@ std::vector<ckks::Plaintext> BatchDecryptor::decrypt_batch(
   // so stage the parallel writes through optionals and unwrap in order.
   std::vector<std::optional<ckks::Plaintext>> staged(cts.size());
   core_.run(cts.size(), [&](std::size_t i, std::size_t worker) {
+    ABC_FAILPOINT(fail::points::kDecryptItem);
     staged[i] = decryptor_.decrypt_with(cts[i], scratch_.at(worker));
   });
   std::vector<ckks::Plaintext> out;
@@ -28,15 +30,64 @@ std::vector<ckks::Plaintext> BatchDecryptor::decrypt_batch(
   return out;
 }
 
+std::vector<std::optional<ckks::Plaintext>> BatchDecryptor::decrypt_batch(
+    std::span<const ckks::Ciphertext> cts, BatchErrorReport& report) {
+  std::vector<std::optional<ckks::Plaintext>> out(cts.size());
+  report = core_.run_isolated(cts.size(), [&](std::size_t i,
+                                              std::size_t worker) {
+    ABC_FAILPOINT(fail::points::kDecryptItem);
+    out[i] = decryptor_.decrypt_with(cts[i], scratch_.at(worker));
+  });
+  return out;
+}
+
 std::vector<std::vector<std::complex<double>>>
 BatchDecryptor::decrypt_decode_batch(std::span<const ckks::Ciphertext> cts) {
   std::vector<std::vector<std::complex<double>>> out(cts.size());
   core_.run(cts.size(), [&](std::size_t i, std::size_t worker) {
+    ABC_FAILPOINT(fail::points::kDecryptItem);
     out[i] =
         encoder_.decode(decryptor_.decrypt_with(cts[i], scratch_.at(worker)));
   });
   return out;
 }
+
+std::vector<std::vector<std::complex<double>>>
+BatchDecryptor::decrypt_decode_batch(std::span<const ckks::Ciphertext> cts,
+                                     BatchErrorReport& report) {
+  std::vector<std::vector<std::complex<double>>> out(cts.size());
+  report = core_.run_isolated(cts.size(), [&](std::size_t i,
+                                              std::size_t worker) {
+    ABC_FAILPOINT(fail::points::kDecryptItem);
+    // decode() returns a fresh vector, so a throw before the assignment
+    // leaves out[i] as the empty vector it started as — never half-written.
+    out[i] =
+        encoder_.decode(decryptor_.decrypt_with(cts[i], scratch_.at(worker)));
+  });
+  return out;
+}
+
+namespace {
+
+// Serial fold after the fan-out: aggregation order never depends on
+// worker scheduling.
+void fold_verify_items(BatchVerifyReport& report) {
+  report.ok = true;
+  report.passed = 0;
+  report.failed = 0;
+  report.worst_abs_error = 0.0;
+  report.worst_precision_bits = 60.0;
+  for (const ckks::VerifyReport& item : report.items) {
+    (item.ok ? report.passed : report.failed) += 1;
+    report.ok = report.ok && item.ok;
+    report.worst_abs_error =
+        std::max(report.worst_abs_error, item.max_abs_error);
+    report.worst_precision_bits =
+        std::min(report.worst_precision_bits, item.precision_bits);
+  }
+}
+
+}  // namespace
 
 BatchVerifyReport BatchDecryptor::verify_batch(
     std::span<const ckks::Ciphertext> cts,
@@ -47,21 +98,33 @@ BatchVerifyReport BatchDecryptor::verify_batch(
   BatchVerifyReport report;
   report.items.resize(cts.size());
   core_.run(cts.size(), [&](std::size_t i, std::size_t worker) {
+    ABC_FAILPOINT(fail::points::kVerifyItem);
     report.items[i] =
         ckks::verify_decode(core_.ctx(), cts[i], decryptor_, encoder_,
                             expected[i], bound, scratch_.at(worker));
   });
-  // Serial fold after the fan-out: aggregation order never depends on
-  // worker scheduling.
-  report.ok = true;
-  for (const ckks::VerifyReport& item : report.items) {
-    (item.ok ? report.passed : report.failed) += 1;
-    report.ok = report.ok && item.ok;
-    report.worst_abs_error =
-        std::max(report.worst_abs_error, item.max_abs_error);
-    report.worst_precision_bits =
-        std::min(report.worst_precision_bits, item.precision_bits);
-  }
+  fold_verify_items(report);
+  return report;
+}
+
+BatchVerifyReport BatchDecryptor::verify_batch(
+    std::span<const ckks::Ciphertext> cts,
+    std::span<const std::vector<std::complex<double>>> expected,
+    BatchErrorReport& errors, double bound) {
+  ABC_CHECK_ARG(cts.size() == expected.size(),
+                "one expected slot vector per ciphertext");
+  BatchVerifyReport report;
+  report.items.resize(cts.size());
+  errors = core_.run_isolated(cts.size(), [&](std::size_t i,
+                                              std::size_t worker) {
+    ABC_FAILPOINT(fail::points::kVerifyItem);
+    report.items[i] =
+        ckks::verify_decode(core_.ctx(), cts[i], decryptor_, encoder_,
+                            expected[i], bound, scratch_.at(worker));
+  });
+  // A slot whose verify threw keeps the default VerifyReport — ok=false —
+  // so the fold counts it as failed without consulting the error report.
+  fold_verify_items(report);
   return report;
 }
 

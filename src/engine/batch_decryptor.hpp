@@ -17,6 +17,7 @@
 
 #include <complex>
 #include <memory>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -71,6 +72,24 @@ class BatchDecryptor {
       std::span<const ckks::Ciphertext> cts,
       std::span<const std::vector<std::complex<double>>> expected,
       double bound = 0.0);
+
+  // -- per-item-fault mode ----------------------------------------------------
+  // One malformed ciphertext no longer aborts the batch: @p report records
+  // each item's outcome in input order and successes are untouched.
+  // Plaintext is not default-constructible, so the failed slot of the
+  // plaintext overload is std::nullopt; a failed decode slot is an empty
+  // vector; a failed verify slot is a default (failing) VerifyReport.
+
+  std::vector<std::optional<ckks::Plaintext>> decrypt_batch(
+      std::span<const ckks::Ciphertext> cts, BatchErrorReport& report);
+
+  std::vector<std::vector<std::complex<double>>> decrypt_decode_batch(
+      std::span<const ckks::Ciphertext> cts, BatchErrorReport& report);
+
+  BatchVerifyReport verify_batch(
+      std::span<const ckks::Ciphertext> cts,
+      std::span<const std::vector<std::complex<double>>> expected,
+      BatchErrorReport& report, double bound = 0.0);
 
  private:
   FanOutCore core_;

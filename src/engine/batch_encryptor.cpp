@@ -1,5 +1,7 @@
 #include "engine/batch_encryptor.hpp"
 
+#include "common/failpoint.hpp"
+
 namespace abc::engine {
 
 BatchEncryptor::BatchEncryptor(std::shared_ptr<const ckks::CkksContext> ctx,
@@ -22,8 +24,26 @@ std::vector<ckks::Ciphertext> BatchEncryptor::run(
                                          u64)>& item) {
   std::vector<ckks::Ciphertext> out(count);
   core_.run_with_ids(count, [&](std::size_t i, std::size_t worker, u64 id) {
+    ABC_FAILPOINT(fail::points::kEncryptItem);
     out[i] = item(i, scratch_.at(worker), id);
   });
+  return out;
+}
+
+std::vector<ckks::Ciphertext> BatchEncryptor::run_isolated(
+    std::size_t count,
+    const std::function<ckks::Ciphertext(std::size_t, ckks::EncryptScratch&,
+                                         u64)>& item,
+    BatchErrorReport& report) {
+  // A failed item leaves its slot as the default-constructed Ciphertext it
+  // started as — never a torn write, since item() builds the ciphertext in
+  // scratch-local storage and only a completed result is move-assigned in.
+  std::vector<ckks::Ciphertext> out(count);
+  report = core_.run_with_ids_isolated(
+      count, [&](std::size_t i, std::size_t worker, u64 id) {
+        ABC_FAILPOINT(fail::points::kEncryptItem);
+        out[i] = item(i, scratch_.at(worker), id);
+      });
   return out;
 }
 
@@ -37,6 +57,18 @@ std::vector<ckks::Ciphertext> BatchEncryptor::encrypt_batch(
   });
 }
 
+std::vector<ckks::Ciphertext> BatchEncryptor::encrypt_batch(
+    std::span<const std::vector<std::complex<double>>> messages,
+    std::size_t limbs, BatchErrorReport& report) {
+  return run_isolated(
+      messages.size(),
+      [&](std::size_t i, ckks::EncryptScratch& scratch, u64 id) {
+        const ckks::Plaintext pt = encoder_.encode(messages[i], limbs);
+        return encryptor_.encrypt_with(pt, id, scratch);
+      },
+      report);
+}
+
 std::vector<ckks::Ciphertext> BatchEncryptor::encrypt_real_batch(
     std::span<const std::vector<double>> messages, std::size_t limbs) {
   return run(messages.size(), [&](std::size_t i,
@@ -44,6 +76,18 @@ std::vector<ckks::Ciphertext> BatchEncryptor::encrypt_real_batch(
     const ckks::Plaintext pt = encoder_.encode_real(messages[i], limbs);
     return encryptor_.encrypt_with(pt, id, scratch);
   });
+}
+
+std::vector<ckks::Ciphertext> BatchEncryptor::encrypt_real_batch(
+    std::span<const std::vector<double>> messages, std::size_t limbs,
+    BatchErrorReport& report) {
+  return run_isolated(
+      messages.size(),
+      [&](std::size_t i, ckks::EncryptScratch& scratch, u64 id) {
+        const ckks::Plaintext pt = encoder_.encode_real(messages[i], limbs);
+        return encryptor_.encrypt_with(pt, id, scratch);
+      },
+      report);
 }
 
 std::vector<ckks::Ciphertext> BatchEncryptor::encrypt_plaintexts(

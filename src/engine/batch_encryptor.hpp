@@ -61,12 +61,33 @@ class BatchEncryptor {
   std::vector<ckks::Ciphertext> encrypt_plaintexts(
       std::span<const ckks::Plaintext> plaintexts);
 
+  // -- per-item-fault mode ----------------------------------------------------
+  // Same work, but one bad message no longer aborts the batch: @p report
+  // records each item's outcome in input order, failed slots come back as
+  // default-constructed (empty) Ciphertexts, and successes are the exact
+  // bytes the throwing overload would have produced (stream ids are
+  // reserved identically whether or not neighbours fail).
+
+  std::vector<ckks::Ciphertext> encrypt_batch(
+      std::span<const std::vector<std::complex<double>>> messages,
+      std::size_t limbs, BatchErrorReport& report);
+
+  std::vector<ckks::Ciphertext> encrypt_real_batch(
+      std::span<const std::vector<double>> messages, std::size_t limbs,
+      BatchErrorReport& report);
+
  private:
   std::vector<ckks::Ciphertext> run(
       std::size_t count,
       const std::function<ckks::Ciphertext(std::size_t index,
                                            ckks::EncryptScratch& scratch,
                                            u64 stream_id)>& item);
+  std::vector<ckks::Ciphertext> run_isolated(
+      std::size_t count,
+      const std::function<ckks::Ciphertext(std::size_t index,
+                                           ckks::EncryptScratch& scratch,
+                                           u64 stream_id)>& item,
+      BatchErrorReport& report);
 
   FanOutCore core_;
   ckks::CkksEncoder encoder_;

@@ -1,5 +1,7 @@
 #include "engine/client_session.hpp"
 
+#include <algorithm>
+
 #include "common/check.hpp"
 
 namespace abc::engine {
@@ -96,6 +98,108 @@ BatchVerifyReport ClientSession::verify_download(
   const std::vector<ckks::Ciphertext> cts =
       deserialize_ciphertext_batch(ctx_, envelope);
   return verify(cts, expected, bound);
+}
+
+ClientSession::RetryReport ClientSession::round_trip_with_retry(
+    std::span<const std::vector<std::complex<double>>> messages,
+    std::size_t limbs, const Transport& transport, std::size_t max_attempts,
+    double bound) {
+  ABC_CHECK_ARG(transport != nullptr, "null transport");
+  ABC_CHECK_ARG(max_attempts >= 1, "max_attempts must be at least 1");
+  const std::size_t n = messages.size();
+  RetryReport report;
+  report.attempts.assign(n, 0);
+  report.verify.items.resize(n);
+  std::vector<std::size_t> pending(n);
+  for (std::size_t i = 0; i < n; ++i) pending[i] = i;
+
+  while (!pending.empty()) {
+    // An item only enters a round if it has attempts left; everyone in
+    // `pending` here is being sent now.
+    if (report.attempts[pending.front()] >= max_attempts) break;
+    ++report.rounds;
+    for (std::size_t i : pending) ++report.attempts[i];
+
+    // Re-encrypt the pending subset. encrypt_batch reserves fresh stream
+    // ids from the context-wide monotonic counter on every call, so a
+    // retried item never reuses a stream — even for identical bytes.
+    std::vector<std::vector<std::complex<double>>> round_msgs;
+    round_msgs.reserve(pending.size());
+    for (std::size_t i : pending) round_msgs.push_back(messages[i]);
+    BatchErrorReport enc_errors;
+    const std::vector<ckks::Ciphertext> cts =
+        encryptor_.encrypt_batch(round_msgs, limbs, enc_errors);
+
+    // Only the items that encrypted ship; the rest stay pending.
+    std::vector<std::size_t> sent;        // indices into `pending`
+    std::vector<ckks::Ciphertext> wire;
+    sent.reserve(pending.size());
+    wire.reserve(pending.size());
+    for (std::size_t j = 0; j < pending.size(); ++j) {
+      if (enc_errors.items[j].ok) {
+        sent.push_back(j);
+        wire.push_back(cts[j]);
+      }
+    }
+
+    std::vector<std::size_t> next_pending;
+    if (!sent.empty()) {
+      bool round_ok = true;
+      BatchVerifyReport round_verify;
+      try {
+        const std::vector<u8> response = transport(
+            serialize_ciphertext_batch(wire, config_.bits_per_coeff));
+        const std::vector<ckks::Ciphertext> returned =
+            deserialize_ciphertext_batch(ctx_, response);
+        ABC_CHECK_ARG(returned.size() == wire.size(),
+                      "response item count does not match the upload");
+        std::vector<std::vector<std::complex<double>>> expected;
+        expected.reserve(sent.size());
+        for (std::size_t j : sent) expected.push_back(round_msgs[j]);
+        BatchErrorReport verify_errors;
+        round_verify =
+            decryptor_.verify_batch(returned, expected, verify_errors, bound);
+      } catch (const std::exception& e) {
+        // Whole-round failure (transport, envelope parse, count mismatch):
+        // every item sent this round stays pending.
+        round_ok = false;
+        report.round_errors.emplace_back(e.what());
+      }
+      for (std::size_t k = 0; k < sent.size(); ++k) {
+        const std::size_t i = pending[sent[k]];
+        if (round_ok && round_verify.items[k].ok) {
+          report.verify.items[i] = round_verify.items[k];
+        } else {
+          if (round_ok) report.verify.items[i] = round_verify.items[k];
+          next_pending.push_back(i);
+        }
+      }
+    }
+    for (std::size_t j = 0; j < pending.size(); ++j) {
+      if (!enc_errors.items[j].ok) next_pending.push_back(pending[j]);
+    }
+    // Keep input order so the next round's stream assignment (and the
+    // report) stays schedule-independent.
+    std::sort(next_pending.begin(), next_pending.end());
+    pending = std::move(next_pending);
+  }
+
+  // Fold the final per-item reports the same way verify_batch does.
+  report.verify.ok = true;
+  report.verify.passed = 0;
+  report.verify.failed = 0;
+  report.verify.worst_abs_error = 0.0;
+  report.verify.worst_precision_bits = 60.0;
+  for (const ckks::VerifyReport& item : report.verify.items) {
+    (item.ok ? report.verify.passed : report.verify.failed) += 1;
+    report.verify.ok = report.verify.ok && item.ok;
+    report.verify.worst_abs_error =
+        std::max(report.verify.worst_abs_error, item.max_abs_error);
+    report.verify.worst_precision_bits =
+        std::min(report.verify.worst_precision_bits, item.precision_bits);
+  }
+  report.ok = pending.empty() && report.verify.ok;
+  return report;
 }
 
 }  // namespace abc::engine

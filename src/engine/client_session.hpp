@@ -22,9 +22,11 @@
 /// stream id comes from the context-wide counter.
 
 #include <complex>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "ckks/serialize.hpp"
@@ -110,6 +112,40 @@ class ClientSession {
       std::span<const u8> envelope,
       std::span<const std::vector<std::complex<double>>> expected,
       double bound = 0.0);
+
+  // -- retrying round trip ---------------------------------------------------
+
+  /// Carries one request's upload envelope to the server and returns the
+  /// response envelope (identity for a loopback/echo deployment).
+  using Transport =
+      std::function<std::vector<u8>(std::span<const u8> upload)>;
+
+  /// Outcome of round_trip_with_retry: per-item verify results plus how
+  /// many times each item had to be sent before it passed.
+  struct RetryReport {
+    bool ok = false;            // every item verified within max_attempts
+    std::size_t rounds = 0;     // transport round trips performed
+    std::vector<std::size_t> attempts;  // input order; times item was sent
+    BatchVerifyReport verify;   // final per-item reports, input order; an
+                                // item that never verified keeps the
+                                // default (failing) VerifyReport
+    std::vector<std::string> round_errors;  // whole-round failures
+                                            // (transport/parse), in round
+                                            // order; empty entries elided
+  };
+
+  /// Full round trip with bounded retry: encrypts @p messages, ships them
+  /// through @p transport, verifies the response against the same
+  /// messages, and re-sends only the failed items — each retry
+  /// re-encrypts under *freshly reserved* stream ids (the context-wide
+  /// counter is monotonic, so a stream id is never reused, even for the
+  /// same message). Gives up after @p max_attempts sends per item. Faults
+  /// anywhere in the leg — encrypt, transport, parse, decrypt, verify —
+  /// fail the affected items' round, never the call.
+  RetryReport round_trip_with_retry(
+      std::span<const std::vector<std::complex<double>>> messages,
+      std::size_t limbs, const Transport& transport,
+      std::size_t max_attempts = 3, double bound = 0.0);
 
  private:
   std::shared_ptr<const ckks::CkksContext> ctx_;

@@ -20,16 +20,44 @@
 ///    (domain, stream id) — so a ScalarBackend run, a 1-thread pool and an
 ///    8-thread pool all produce the same bytes. Engines inherit the
 ///    contract by routing every fan-out through run()/run_with_ids().
+///  * **Failure isolation** (run_isolated()/run_with_ids_isolated()): the
+///    per-item-fault mode every engine exposes. One malformed item must
+///    not abort the batch — each job runs under its own catch, outcomes
+///    land in a BatchErrorReport in input order, and the serial fold picks
+///    the first error by input index (never by completion time), so the
+///    report itself is identical at any worker count. Stream ids are
+///    reserved identically in both modes, so the surviving items of a
+///    faulty batch are bit-identical to the same items of a clean one.
 
 #include <cstddef>
 #include <functional>
 #include <memory>
+#include <string>
 #include <type_traits>
 #include <vector>
 
 #include "ckks/context.hpp"
 
 namespace abc::engine {
+
+/// Outcome of one batch item in a fault-isolating fan-out.
+struct ItemStatus {
+  bool ok = true;
+  std::string error;  // what() of the item's exception; empty when ok
+};
+
+/// Input-order per-item error report of a fault-isolating batch call.
+/// Successes are preserved, failed slots of the paired output container
+/// are well-defined-empty, and the aggregates are schedule-independent.
+struct BatchErrorReport {
+  std::vector<ItemStatus> items;  // input order, one per batch item
+  std::size_t succeeded = 0;
+  std::size_t failed = 0;
+  std::string first_error;  // message of the lowest-index failure
+
+  bool ok() const noexcept { return failed == 0; }
+  std::size_t size() const noexcept { return items.size(); }
+};
 
 class FanOutCore {
  public:
@@ -57,7 +85,20 @@ class FanOutCore {
   /// job(i, worker, base + i) — the randomness-consuming fan-out shape.
   void run_with_ids(std::size_t count, const IdJob& job) const;
 
+  /// Fault-isolating run(): every job executes under its own catch, and
+  /// the returned report records each item's outcome in input order. Jobs
+  /// that complete are untouched by jobs that fail.
+  BatchErrorReport run_isolated(std::size_t count, const Job& job) const;
+
+  /// Fault-isolating run_with_ids(): ids are reserved exactly as in the
+  /// throwing mode (base + i regardless of failures), so surviving items
+  /// are bit-identical to the same items of a fault-free batch.
+  BatchErrorReport run_with_ids_isolated(std::size_t count,
+                                         const IdJob& job) const;
+
  private:
+  BatchErrorReport fold_statuses(std::vector<ItemStatus> statuses) const;
+
   std::shared_ptr<const ckks::CkksContext> ctx_;
   std::size_t workers_;
 };

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/check.hpp"
+#include "common/failpoint.hpp"
 
 namespace abc::prng {
 namespace {
@@ -49,6 +50,9 @@ void chacha20_block(const std::array<u32, 8>& key, u32 counter,
 }
 
 ChaCha20::ChaCha20(const std::array<u8, 16>& seed, u64 stream_id, u32 domain) {
+  // Every keystream the stack consumes starts here, so this is where a
+  // fault-injection run breaks PRNG stream setup.
+  ABC_FAILPOINT(fail::points::kPrngStreamSetup);
   // Expand 128-bit seed into a 256-bit key: seed || ~seed. Any injective
   // expansion preserves the 128-bit security level of the seed.
   for (int i = 0; i < 4; ++i) {

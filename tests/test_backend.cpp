@@ -1,7 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <memory>
 #include <random>
+#include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "backend/scalar_backend.hpp"
@@ -137,6 +141,83 @@ TEST(Backend, JobExceptionRethrownOnCaller) {
   std::atomic<int> ran{0};
   pool.parallel_for(4, [&](std::size_t, std::size_t) { ran.fetch_add(1); });
   EXPECT_EQ(ran.load(), 4);
+}
+
+/// An exception that owns a refcounted token, so a test can prove the
+/// swallowed copy was actually destroyed (no leaked exception state).
+struct TokenError : std::runtime_error {
+  std::shared_ptr<int> token;
+  explicit TokenError(std::shared_ptr<int> t)
+      : std::runtime_error("token error"), token(std::move(t)) {}
+};
+
+TEST(Backend, TwoThrowingWorkersFirstWinsSecondSwallowedWithoutLeak) {
+  // Two items throw in the same region. Exactly one exception reaches the
+  // submitting thread (first-exception-wins); the second is swallowed —
+  // and must be destroyed, not parked forever. The token's use_count
+  // returning to 1 proves both copies (and the parked exception_ptr)
+  // were released once the region and its Task object wound down.
+  backend::ThreadPoolBackend pool(2);
+  auto token = std::make_shared<int>(42);
+  int caught = 0;
+  try {
+    pool.parallel_for(16, [&](std::size_t i, std::size_t) {
+      if (i == 0 || i == 15) throw TokenError(token);
+    });
+  } catch (const TokenError& e) {
+    ++caught;
+    EXPECT_EQ(*e.token, 42);
+  }
+  EXPECT_EQ(caught, 1);
+  // Workers release their Task reference when they re-enter the wait; give
+  // them a moment rather than racing the teardown.
+  for (int spin = 0; spin < 2000 && token.use_count() != 1; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(token.use_count(), 1)
+      << "a swallowed or parked exception still holds the token";
+  std::atomic<int> ran{0};
+  pool.parallel_for(4, [&](std::size_t, std::size_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 4);
+}
+
+TEST(Backend, ThrowInsideNestedRegionUnwindsToCaller) {
+  // A nested region runs inline on the owning worker, so a throw there
+  // unwinds into the outer job, where run_share parks it — the caller
+  // sees one normal exception and the pool survives.
+  backend::ThreadPoolBackend pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(4,
+                        [&](std::size_t i, std::size_t) {
+                          pool.parallel_for(3, [&](std::size_t j,
+                                                   std::size_t) {
+                            if (i == 1 && j == 2) {
+                              throw InvalidArgument("nested boom");
+                            }
+                          });
+                        }),
+      InvalidArgument);
+  std::atomic<int> ran{0};
+  pool.parallel_for(8, [&](std::size_t, std::size_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(Backend, EveryWorkerThrowingStillCompletesTheRegion) {
+  // Worst case: every single item throws. The region must still complete
+  // (items count as done even when their job threw), rethrow exactly one
+  // exception, and leave the pool reusable.
+  backend::ThreadPoolBackend pool(4);
+  std::atomic<int> attempts{0};
+  EXPECT_THROW(pool.parallel_for(64,
+                                 [&](std::size_t, std::size_t) {
+                                   attempts.fetch_add(1);
+                                   throw InvalidArgument("all fail");
+                                 }),
+               InvalidArgument);
+  EXPECT_EQ(attempts.load(), 64);
+  std::atomic<int> ran{0};
+  pool.parallel_for(16, [&](std::size_t, std::size_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 16);
 }
 
 TEST(Backend, DefaultBackendIsScalar) {

@@ -305,6 +305,158 @@ TEST(ClientSession, PublicKeyModeRoundTrips) {
   EXPECT_TRUE(report.ok) << "worst error " << report.worst_abs_error;
 }
 
+TEST(ClientSession, VerifyDownloadOfEmptyBatchIsVacuouslyOk) {
+  // An empty response envelope against an empty expectation is a valid,
+  // passing report — not a crash and not a failure.
+  const ckks::CkksParams params = ckks::CkksParams::test_small(10, 3);
+  auto ctx = ckks::CkksContext::create(params);
+  engine::ClientSession session(ctx);
+  const std::vector<u8> envelope =
+      ckks::serialize_ciphertext_batch({}, session.config().bits_per_coeff);
+  const engine::BatchVerifyReport report = session.verify_download(envelope, {});
+  EXPECT_TRUE(report.ok);
+  EXPECT_EQ(report.passed, 0u);
+  EXPECT_EQ(report.failed, 0u);
+  EXPECT_TRUE(report.items.empty());
+  EXPECT_EQ(report.worst_abs_error, 0.0);
+}
+
+TEST(ClientSession, VerifyDownloadReportsEveryItemFailing) {
+  // All-items-failing is a coherent report, not an exception: corrupt one
+  // residue of every ciphertext before re-serializing the envelope.
+  const ckks::CkksParams params = ckks::CkksParams::test_small(10, 3);
+  auto ctx = ckks::CkksContext::create(params);
+  engine::ClientSession session(ctx);
+  const auto msgs = random_batch(3, ctx->slots(), 23);
+  auto cts = session.encrypt(msgs, ctx->max_limbs());
+  const u64 q = ctx->poly_context()->modulus(0).value();
+  for (auto& ct : cts) {
+    std::span<u64> limb = ct.c(0).limb(0);
+    limb[3] = (limb[3] + q / 2) % q;
+  }
+  const std::vector<u8> envelope =
+      ckks::serialize_ciphertext_batch(cts, session.config().bits_per_coeff);
+  const engine::BatchVerifyReport report =
+      session.verify_download(envelope, msgs);
+  EXPECT_FALSE(report.ok);
+  EXPECT_EQ(report.passed, 0u);
+  EXPECT_EQ(report.failed, msgs.size());
+  for (const ckks::VerifyReport& item : report.items) EXPECT_FALSE(item.ok);
+}
+
+TEST(ClientSession, RetryRecoversFromATransientTransportFault) {
+  // Round 1's response envelope is corrupted in flight (parse fails, a
+  // whole-round error); round 2 echoes cleanly. Every item is sent twice
+  // and the session ends green.
+  const ckks::CkksParams params = ckks::CkksParams::test_small(10, 3);
+  auto ctx = ckks::CkksContext::create(
+      params, std::make_shared<backend::ThreadPoolBackend>(2));
+  engine::ClientSession session(ctx);
+  const auto msgs = random_batch(3, ctx->slots(), 31);
+  int calls = 0;
+  const auto flaky = [&](std::span<const u8> upload) {
+    std::vector<u8> response(upload.begin(), upload.end());
+    if (++calls == 1) response.resize(response.size() / 2);
+    return response;
+  };
+  const engine::ClientSession::RetryReport report =
+      session.round_trip_with_retry(msgs, ctx->max_limbs(), flaky);
+  EXPECT_TRUE(report.ok);
+  EXPECT_EQ(report.rounds, 2u);
+  ASSERT_EQ(report.round_errors.size(), 1u);
+  EXPECT_FALSE(report.round_errors[0].empty());
+  for (std::size_t attempts : report.attempts) EXPECT_EQ(attempts, 2u);
+  EXPECT_TRUE(report.verify.ok);
+  EXPECT_EQ(report.verify.passed, msgs.size());
+}
+
+TEST(ClientSession, RetryResendsOnlyFailedItemsUnderFreshStreamIds) {
+  // The server garbles item 1 on the first round only. Round 2 must carry
+  // exactly that item, re-encrypted under a freshly reserved stream id —
+  // stream ids are NEVER reused, even for an identical message.
+  const ckks::CkksParams params = ckks::CkksParams::test_small(10, 3);
+  auto ctx = ckks::CkksContext::create(
+      params, std::make_shared<backend::ThreadPoolBackend>(2));
+  engine::ClientSession session(ctx);
+  const auto msgs = random_batch(3, ctx->slots(), 37);
+  const u64 q = ctx->poly_context()->modulus(0).value();
+  int calls = 0;
+  std::vector<std::vector<u64>> upload_stream_ids;  // per round, per item
+  const auto server = [&](std::span<const u8> upload) {
+    auto cts = ckks::deserialize_ciphertext_batch(ctx, upload);
+    std::vector<u64> ids;
+    for (const auto& ct : cts) {
+      EXPECT_TRUE(ct.compressed_c1.has_value());
+      ids.push_back(ct.compressed_c1 ? ct.compressed_c1->stream_id : 0);
+    }
+    upload_stream_ids.push_back(std::move(ids));
+    if (++calls == 1) {
+      std::span<u64> limb = cts[1].c(0).limb(0);
+      limb[5] = (limb[5] + q / 2) % q;
+    }
+    return ckks::serialize_ciphertext_batch(cts,
+                                            session.config().bits_per_coeff);
+  };
+  const engine::ClientSession::RetryReport report =
+      session.round_trip_with_retry(msgs, ctx->max_limbs(), server);
+  EXPECT_TRUE(report.ok);
+  EXPECT_EQ(report.rounds, 2u);
+  EXPECT_TRUE(report.round_errors.empty());
+  EXPECT_EQ(report.attempts[0], 1u);
+  EXPECT_EQ(report.attempts[1], 2u);
+  EXPECT_EQ(report.attempts[2], 1u);
+  ASSERT_EQ(upload_stream_ids.size(), 2u);
+  ASSERT_EQ(upload_stream_ids[1].size(), 1u) << "only item 1 resent";
+  // The retried item's stream id is fresh: distinct from every id of
+  // round 1 (the context counter is monotonic, so it is in fact larger).
+  for (u64 prior : upload_stream_ids[0]) {
+    EXPECT_NE(upload_stream_ids[1][0], prior);
+    EXPECT_GT(upload_stream_ids[1][0], prior);
+  }
+}
+
+TEST(ClientSession, RetryGivesUpAfterMaxAttempts) {
+  const ckks::CkksParams params = ckks::CkksParams::test_small(10, 3);
+  auto ctx = ckks::CkksContext::create(params);
+  engine::ClientSession session(ctx);
+  const auto msgs = random_batch(2, ctx->slots(), 41);
+  int calls = 0;
+  const auto broken = [&](std::span<const u8>) {
+    ++calls;
+    return std::vector<u8>{0xde, 0xad};  // never parses
+  };
+  const engine::ClientSession::RetryReport report =
+      session.round_trip_with_retry(msgs, ctx->max_limbs(), broken, 3);
+  EXPECT_FALSE(report.ok);
+  EXPECT_EQ(report.rounds, 3u);
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(report.round_errors.size(), 3u);
+  for (std::size_t attempts : report.attempts) EXPECT_EQ(attempts, 3u);
+  EXPECT_FALSE(report.verify.ok);
+  EXPECT_EQ(report.verify.failed, msgs.size());
+}
+
+TEST(ClientSession, RetryRejectsDegenerateArguments) {
+  const ckks::CkksParams params = ckks::CkksParams::test_small(10, 3);
+  auto ctx = ckks::CkksContext::create(params);
+  engine::ClientSession session(ctx);
+  const auto msgs = random_batch(1, ctx->slots(), 43);
+  const auto echo = [](std::span<const u8> u) {
+    return std::vector<u8>(u.begin(), u.end());
+  };
+  EXPECT_THROW(
+      session.round_trip_with_retry(msgs, ctx->max_limbs(), nullptr),
+      InvalidArgument);
+  EXPECT_THROW(
+      session.round_trip_with_retry(msgs, ctx->max_limbs(), echo, 0),
+      InvalidArgument);
+  // Zero messages: a trivially green report, no transport calls needed.
+  const engine::ClientSession::RetryReport report =
+      session.round_trip_with_retry({}, ctx->max_limbs(), echo);
+  EXPECT_TRUE(report.ok);
+  EXPECT_EQ(report.rounds, 0u);
+}
+
 TEST(ClientSession, SessionsAreBackendInvariant) {
   // A whole session (keygen + encrypt + wire) is bit-identical between the
   // scalar backend and any pool: same key bundle bytes, same envelope.
