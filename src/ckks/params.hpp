@@ -46,6 +46,11 @@ struct CkksParams {
   /// Throws InvalidArgument when inconsistent (or insecure while
   /// enforce_security is set).
   void validate() const;
+
+  /// Member-wise equality — the warm-context cache key: two parameter
+  /// sets compare equal exactly when they would build interchangeable
+  /// contexts (same prime chain, tables, and PRNG seed).
+  bool operator==(const CkksParams&) const = default;
 };
 
 /// Maximum log2(Q) for 128-bit classical security with uniform ternary

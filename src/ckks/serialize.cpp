@@ -450,6 +450,156 @@ KeySizeReport key_switch_key_sizes(const KeySwitchKey& key,
                        (kKeyHeaderBits + 2 * half + 7) / 8};
 }
 
+namespace {
+
+constexpr u32 kRequestMagic = 0x41424351;   // "ABCQ": server requests
+constexpr u32 kResponseMagic = 0x41424353;  // "ABCS": server responses
+constexpr u32 kBundleMagic = 0x41424350;    // "ABCP": tenant key bundles
+
+// Responses carry a human-readable error string; bound it so a hostile
+// frame cannot make the reader allocate more than the frame itself holds
+// plus this ceiling.
+constexpr std::size_t kMaxErrorBytes = 64 * 1024;
+
+// Little-endian byte-aligned writer/reader shared by the framing codecs.
+// Every length field is validated against the remaining span before any
+// allocation — the same untrusted-envelope discipline as "ABCB".
+struct ByteWriter {
+  std::vector<u8> out;
+  void put_u8(u8 v) { out.push_back(v); }
+  void put_u32(u64 v) {
+    ABC_CHECK_ARG((v >> 32) == 0, "frame field exceeds 32 bits");
+    for (int b = 0; b < 4; ++b) out.push_back(static_cast<u8>(v >> (8 * b)));
+  }
+  void put_u64(u64 v) {
+    for (int b = 0; b < 8; ++b) out.push_back(static_cast<u8>(v >> (8 * b)));
+  }
+  void put_bytes(std::span<const u8> bytes) {
+    put_u32(bytes.size());
+    out.insert(out.end(), bytes.begin(), bytes.end());
+  }
+};
+
+struct ByteReader {
+  std::span<const u8> bytes;
+  std::size_t pos = 0;
+
+  std::size_t remaining() const noexcept { return bytes.size() - pos; }
+  u8 get_u8() {
+    ABC_CHECK_ARG(pos + 1 <= bytes.size(), "frame truncated");
+    return bytes[pos++];
+  }
+  u64 get_u32() {
+    ABC_CHECK_ARG(pos + 4 <= bytes.size(), "frame truncated");
+    u64 v = 0;
+    for (int b = 0; b < 4; ++b) v |= static_cast<u64>(bytes[pos++]) << (8 * b);
+    return v;
+  }
+  u64 get_u64() {
+    ABC_CHECK_ARG(pos + 8 <= bytes.size(), "frame truncated");
+    u64 v = 0;
+    for (int b = 0; b < 8; ++b) v |= static_cast<u64>(bytes[pos++]) << (8 * b);
+    return v;
+  }
+  std::span<const u8> get_bytes() {
+    const u64 length = get_u32();
+    ABC_CHECK_ARG(length <= remaining(), "frame length field overruns the frame");
+    const std::span<const u8> view = bytes.subspan(pos, length);
+    pos += length;
+    return view;
+  }
+  void expect_end() const {
+    ABC_CHECK_ARG(pos == bytes.size(), "trailing bytes after the frame");
+  }
+};
+
+}  // namespace
+
+std::vector<u8> serialize_request_frame(const RequestFrame& req) {
+  ByteWriter w;
+  w.put_u32(kRequestMagic);
+  w.put_u64(req.tenant);
+  w.put_u64(req.request_id);
+  w.put_u8(req.op);
+  w.put_u64(static_cast<u64>(req.op_arg));
+  w.put_bytes(req.payload);
+  return std::move(w.out);
+}
+
+RequestFrame deserialize_request_frame(std::span<const u8> bytes) {
+  ByteReader r{bytes};
+  ABC_CHECK_ARG(r.get_u32() == kRequestMagic, "bad request magic");
+  RequestFrame req;
+  req.tenant = r.get_u64();
+  req.request_id = r.get_u64();
+  req.op = r.get_u8();
+  req.op_arg = static_cast<i64>(r.get_u64());
+  const std::span<const u8> payload = r.get_bytes();
+  r.expect_end();
+  req.payload.assign(payload.begin(), payload.end());
+  return req;
+}
+
+std::vector<u8> serialize_response_frame(const ResponseFrame& resp) {
+  ABC_CHECK_ARG(resp.error.size() <= kMaxErrorBytes,
+                "response error string exceeds the wire bound");
+  ByteWriter w;
+  w.put_u32(kResponseMagic);
+  w.put_u64(resp.request_id);
+  w.put_u8(resp.status);
+  w.put_bytes(std::span<const u8>(
+      reinterpret_cast<const u8*>(resp.error.data()), resp.error.size()));
+  w.put_bytes(resp.payload);
+  return std::move(w.out);
+}
+
+ResponseFrame deserialize_response_frame(std::span<const u8> bytes) {
+  ByteReader r{bytes};
+  ABC_CHECK_ARG(r.get_u32() == kResponseMagic, "bad response magic");
+  ResponseFrame resp;
+  resp.request_id = r.get_u64();
+  resp.status = r.get_u8();
+  const std::span<const u8> error = r.get_bytes();
+  ABC_CHECK_ARG(error.size() <= kMaxErrorBytes,
+                "response error string exceeds the wire bound");
+  const std::span<const u8> payload = r.get_bytes();
+  r.expect_end();
+  resp.error.assign(error.begin(), error.end());
+  resp.payload.assign(payload.begin(), payload.end());
+  return resp;
+}
+
+std::vector<u8> serialize_key_bundle(const KeyBundleFrames& bundle) {
+  ByteWriter w;
+  w.put_u32(kBundleMagic);
+  w.put_u32(bundle.galois_keys.size());
+  w.put_bytes(bundle.public_key);
+  w.put_bytes(bundle.relin_key);
+  for (const std::vector<u8>& gk : bundle.galois_keys) w.put_bytes(gk);
+  return std::move(w.out);
+}
+
+KeyBundleFrames deserialize_key_bundle(std::span<const u8> bytes) {
+  ByteReader r{bytes};
+  ABC_CHECK_ARG(r.get_u32() == kBundleMagic, "bad key-bundle magic");
+  const u64 count = r.get_u32();
+  // Every Galois blob needs at least its 4-byte length prefix, so an
+  // untrusted count beyond that is corrupt — reject before reserving.
+  ABC_CHECK_ARG(count <= r.remaining() / 4, "key-bundle envelope truncated");
+  KeyBundleFrames bundle;
+  const std::span<const u8> pk = r.get_bytes();
+  const std::span<const u8> rlk = r.get_bytes();
+  bundle.public_key.assign(pk.begin(), pk.end());
+  bundle.relin_key.assign(rlk.begin(), rlk.end());
+  bundle.galois_keys.reserve(count);
+  for (u64 i = 0; i < count; ++i) {
+    const std::span<const u8> gk = r.get_bytes();
+    bundle.galois_keys.emplace_back(gk.begin(), gk.end());
+  }
+  r.expect_end();
+  return bundle;
+}
+
 KeySizeReport public_key_sizes(const PublicKey& pk, int bits_per_coeff) {
   const std::size_t poly_bits =
       pk.b.limbs() * pk.b.n() * static_cast<std::size_t>(bits_per_coeff);

@@ -15,6 +15,8 @@
 /// on-chip PRNG.
 
 #include <cstddef>
+#include <span>
+#include <string>
 #include <vector>
 
 #include "ckks/ciphertext.hpp"
@@ -92,6 +94,54 @@ std::vector<u8> serialize_ciphertext_batch(std::span<const Ciphertext> cts,
 /// frame (a length-prefix stream that does not add up is corrupt).
 std::vector<Ciphertext> deserialize_ciphertext_batch(
     const std::shared_ptr<const CkksContext>& ctx, std::span<const u8> bytes);
+
+// -- serving-daemon framing -------------------------------------------------
+
+/// One request as it crosses a server transport ("ABCQ" magic): routing
+/// header (tenant, request id, op byte + argument) plus an opaque payload
+/// — an "ABCB" ciphertext-batch envelope for evaluate ops, an "ABCP" key
+/// bundle for registration. The op byte's meaning belongs to the server
+/// layer (src/server/server.hpp); this codec only carries it.
+struct RequestFrame {
+  u64 tenant = 0;
+  u64 request_id = 0;
+  u8 op = 0;
+  i64 op_arg = 0;
+  std::vector<u8> payload;
+};
+
+/// The matching response ("ABCS" magic): the echoed request id, a status
+/// byte (server-layer meaning), a bounded human-readable error string
+/// (empty on success) and the opaque response payload.
+struct ResponseFrame {
+  u64 request_id = 0;
+  u8 status = 0;
+  std::string error;
+  std::vector<u8> payload;
+};
+
+std::vector<u8> serialize_request_frame(const RequestFrame& req);
+std::vector<u8> serialize_response_frame(const ResponseFrame& resp);
+
+/// Frame readers for untrusted bytes: length fields are validated against
+/// the actual remaining span *before* any allocation (a forged length is
+/// an InvalidArgument, never an attacker-sized reserve), and trailing
+/// bytes past the payload are rejected.
+RequestFrame deserialize_request_frame(std::span<const u8> bytes);
+ResponseFrame deserialize_response_frame(std::span<const u8> bytes);
+
+/// The serialized key set one tenant uploads at registration ("ABCP"
+/// magic): public key + relinearization key + N Galois keys, each a
+/// length-prefixed "ABCK" blob, mirroring engine::KeyBundle field by
+/// field. Same hardening contract as the other envelopes.
+struct KeyBundleFrames {
+  std::vector<u8> public_key;
+  std::vector<u8> relin_key;
+  std::vector<std::vector<u8>> galois_keys;
+};
+
+std::vector<u8> serialize_key_bundle(const KeyBundleFrames& bundle);
+KeyBundleFrames deserialize_key_bundle(std::span<const u8> bytes);
 
 // -- key material -----------------------------------------------------------
 

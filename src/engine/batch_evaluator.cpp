@@ -1,0 +1,61 @@
+#include "engine/batch_evaluator.hpp"
+
+#include "common/failpoint.hpp"
+
+namespace abc::engine {
+
+BatchEvaluator::BatchEvaluator(std::shared_ptr<const ckks::CkksContext> ctx)
+    : core_(ctx), evaluator_(std::move(ctx)), scratch_(core_.ctx()) {}
+
+std::vector<ckks::Ciphertext> BatchEvaluator::rotate_batch(
+    std::span<const ckks::Ciphertext> cts, int step,
+    const ckks::GaloisKeys& gks) {
+  std::vector<ckks::Ciphertext> out(cts.size());
+  core_.run(cts.size(), [&](std::size_t i, std::size_t worker) {
+    ABC_FAILPOINT(fail::points::kEvaluateItem);
+    out[i] = evaluator_.rotate(cts[i], step, gks, &scratch_.at(worker));
+  });
+  return out;
+}
+
+std::vector<ckks::Ciphertext> BatchEvaluator::rotate_batch(
+    std::span<const ckks::Ciphertext> cts, int step,
+    const ckks::GaloisKeys& gks, BatchErrorReport& report) {
+  std::vector<ckks::Ciphertext> out(cts.size());
+  report = core_.run_isolated(cts.size(), [&](std::size_t i,
+                                              std::size_t worker) {
+    ABC_FAILPOINT(fail::points::kEvaluateItem);
+    // rotate() returns a fresh ciphertext, so a throw leaves out[i] the
+    // well-defined-empty Ciphertext it started as — never half-written.
+    out[i] = evaluator_.rotate(cts[i], step, gks, &scratch_.at(worker));
+  });
+  return out;
+}
+
+std::vector<ckks::Ciphertext> BatchEvaluator::square_relin_batch(
+    std::span<const ckks::Ciphertext> cts, const ckks::RelinKey& rlk) {
+  std::vector<ckks::Ciphertext> out(cts.size());
+  core_.run(cts.size(), [&](std::size_t i, std::size_t worker) {
+    ABC_FAILPOINT(fail::points::kEvaluateItem);
+    ckks::Ciphertext product = evaluator_.mul(cts[i], cts[i]);
+    evaluator_.relinearize_inplace(product, rlk, &scratch_.at(worker));
+    out[i] = std::move(product);
+  });
+  return out;
+}
+
+std::vector<ckks::Ciphertext> BatchEvaluator::square_relin_batch(
+    std::span<const ckks::Ciphertext> cts, const ckks::RelinKey& rlk,
+    BatchErrorReport& report) {
+  std::vector<ckks::Ciphertext> out(cts.size());
+  report = core_.run_isolated(cts.size(), [&](std::size_t i,
+                                              std::size_t worker) {
+    ABC_FAILPOINT(fail::points::kEvaluateItem);
+    ckks::Ciphertext product = evaluator_.mul(cts[i], cts[i]);
+    evaluator_.relinearize_inplace(product, rlk, &scratch_.at(worker));
+    out[i] = std::move(product);
+  });
+  return out;
+}
+
+}  // namespace abc::engine

@@ -1,0 +1,100 @@
+#pragma once
+
+/// @file ring_buffer.hpp
+/// Bounded single-producer/single-consumer ring buffer — the run-queue
+/// primitive of the serving daemon. Lock-free in the literal sense: one
+/// producer thread and one consumer thread synchronize through two atomic
+/// cursors only, no mutex, no CAS loop, no allocation after construction.
+///
+/// Design (the per-core request/ack ring the ROADMAP's scheduler blueprint
+/// called for, documented in docs/ARCHITECTURE.md "Serving daemon"):
+///
+///  * Capacity is a power of two; cursors are free-running 64-bit counters
+///    and `index = cursor & (capacity - 1)`, so full/empty are exact
+///    (`tail - head == capacity` / `tail == head`) and wrap-around costs
+///    one AND. 64-bit cursors cannot overflow in practice (2^64 pushes).
+///  * Each side keeps a *cached* copy of the other side's cursor and only
+///    re-reads the shared atomic when the cached value says full/empty —
+///    the common case touches one shared cache line instead of two.
+///  * `try_push` publishes the slot write with a release store of `tail`;
+///    `try_pop` acquires `tail` before reading the slot — the only
+///    synchronization a correct SPSC handoff needs.
+///
+/// The strict SPSC contract is the point: anything beyond one producer and
+/// one consumer must serialize externally (server::RunQueue adds exactly
+/// that — a producer guard for the many-clients submit side and a consumer
+/// guard shared by the owning worker and its stealers).
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace abc::server {
+
+template <class T>
+class SpscRing {
+ public:
+  /// @p capacity must be a nonzero power of two (callers with a free
+  /// choice can round up with std::bit_ceil).
+  explicit SpscRing(std::size_t capacity)
+      : slots_(capacity), mask_(capacity - 1) {
+    ABC_CHECK_ARG(capacity > 0 && std::has_single_bit(capacity),
+                  "ring capacity must be a nonzero power of two");
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  std::size_t capacity() const noexcept { return mask_ + 1; }
+
+  /// Producer side. Returns false when the ring is full (the admission
+  /// signal — nothing blocks, nothing allocates).
+  bool try_push(T value) {
+    const u64 tail = tail_.load(std::memory_order_relaxed);
+    if (tail - cached_head_ == capacity()) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail - cached_head_ == capacity()) return false;
+    }
+    slots_[tail & mask_] = std::move(value);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns false when the ring is empty.
+  bool try_pop(T& out) {
+    const u64 head = head_.load(std::memory_order_relaxed);
+    if (head == cached_tail_) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (head == cached_tail_) return false;
+    }
+    out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Instantaneous occupancy; exact only when both sides are quiescent
+  /// (monitoring/tests), approximate under concurrency.
+  std::size_t size() const noexcept {
+    return static_cast<std::size_t>(tail_.load(std::memory_order_acquire) -
+                                    head_.load(std::memory_order_acquire));
+  }
+  bool empty() const noexcept { return size() == 0; }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_;
+  // Cursors on their own cache lines so producer and consumer do not
+  // false-share; each side's cached mirror of the *other* cursor lives
+  // with the owning side.
+  alignas(64) std::atomic<u64> head_{0};  // next pop (consumer-owned)
+  alignas(64) u64 cached_tail_ = 0;       // consumer's view of tail_
+  alignas(64) std::atomic<u64> tail_{0};  // next push (producer-owned)
+  alignas(64) u64 cached_head_ = 0;       // producer's view of head_
+};
+
+}  // namespace abc::server

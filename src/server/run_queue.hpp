@@ -1,0 +1,71 @@
+#pragma once
+
+/// @file run_queue.hpp
+/// Per-core run queue of the serving daemon: one bounded SpscRing plus the
+/// minimal external serialization that turns the strict SPSC primitive
+/// into what dispatch actually needs —
+///
+///  * the producer guard serializes the *many* client threads that may
+///    submit into one queue (the ring still sees a single logical
+///    producer),
+///  * the consumer guard serializes the owning worker's pop() against
+///    sibling workers' steal() (cross-core migration when the owner backs
+///    up).
+///
+/// Both guards protect O(1) cursor work only — no request executes under
+/// a lock — so contention is bounded by the handoff itself, and the data
+/// path through the ring keeps its lock-free SPSC shape. steal() is
+/// pop() from the same end under the same guard: FIFO order is preserved
+/// no matter who drains, which the work-stealing determinism tests rely
+/// on (responses must not depend on the steal schedule).
+
+#include <mutex>
+
+#include "server/ring_buffer.hpp"
+
+namespace abc::server {
+
+template <class T>
+class RunQueue {
+ public:
+  explicit RunQueue(std::size_t capacity) : ring_(capacity) {}
+
+  std::size_t capacity() const noexcept { return ring_.capacity(); }
+
+  /// Any thread. False when full — the bounded-queue admission signal.
+  bool push(T value) {
+    std::lock_guard<std::mutex> lock(producer_m_);
+    return ring_.try_push(std::move(value));
+  }
+
+  /// Owning worker. False when empty.
+  bool pop(T& out) {
+    std::lock_guard<std::mutex> lock(consumer_m_);
+    return ring_.try_pop(out);
+  }
+
+  /// Sibling worker migrating work away from a backed-up owner. Identical
+  /// to pop() apart from the steal counter — same end, same FIFO order.
+  bool steal(T& out) {
+    std::lock_guard<std::mutex> lock(consumer_m_);
+    if (!ring_.try_pop(out)) return false;
+    ++steals_;
+    return true;
+  }
+
+  /// Items drained via steal() over the queue's lifetime.
+  u64 steals() const {
+    std::lock_guard<std::mutex> lock(consumer_m_);
+    return steals_;
+  }
+
+  std::size_t size() const noexcept { return ring_.size(); }
+
+ private:
+  SpscRing<T> ring_;
+  std::mutex producer_m_;
+  mutable std::mutex consumer_m_;
+  u64 steals_ = 0;  // guarded by consumer_m_
+};
+
+}  // namespace abc::server

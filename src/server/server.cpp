@@ -1,0 +1,372 @@
+#include "server/server.hpp"
+
+#include <bit>
+#include <chrono>
+#include <condition_variable>
+#include <exception>
+#include <limits>
+#include <string>
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/failpoint.hpp"
+
+namespace abc::server {
+namespace {
+
+ckks::ResponseFrame error_response(u64 request_id, Status status,
+                                   std::string message) {
+  ckks::ResponseFrame resp;
+  resp.request_id = request_id;
+  resp.status = static_cast<u8>(status);
+  resp.error = std::move(message);
+  return resp;
+}
+
+}  // namespace
+
+const char* status_name(Status s) noexcept {
+  switch (s) {
+    case Status::kOk: return "ok";
+    case Status::kBadRequest: return "bad_request";
+    case Status::kUnknownTenant: return "unknown_tenant";
+    case Status::kUnknownOp: return "unknown_op";
+    case Status::kTooLarge: return "too_large";
+    case Status::kQueueFull: return "queue_full";
+    case Status::kInternal: return "internal";
+    case Status::kShuttingDown: return "shutting_down";
+  }
+  return "unknown_status";
+}
+
+/// A queued request: the frame plus the promise its future hangs off.
+/// Heap-allocated so the ring moves one pointer; exactly one of execute()
+/// or stop()'s drain fulfills-and-deletes it.
+struct Server::Pending {
+  ckks::RequestFrame request;
+  std::promise<ckks::ResponseFrame> promise;
+};
+
+/// Per-worker evaluation state. Each worker owns its own BatchEvaluator
+/// per context because the evaluator's scratch pool is sized to the
+/// *backend's* lanes (one, for the daemon's scalar contexts) and must not
+/// be shared across server worker threads.
+struct Server::WorkerState {
+  std::map<const ckks::CkksContext*, std::unique_ptr<engine::BatchEvaluator>>
+      evaluators;
+
+  engine::BatchEvaluator& evaluator_for(
+      const std::shared_ptr<const ckks::CkksContext>& ctx) {
+    auto& slot = evaluators[ctx.get()];
+    if (!slot) slot = std::make_unique<engine::BatchEvaluator>(ctx);
+    return *slot;
+  }
+};
+
+/// Parking-lot for an idle worker. The queues stay lock-free; this pair
+/// only gates *blocking*, and the short wait_for turns missed wakeups into
+/// bounded latency rather than lost work.
+struct Server::WorkerSignal {
+  std::mutex m;
+  std::condition_variable cv;
+};
+
+Server::Server(ServerConfig config) : config_(std::move(config)) {
+  ABC_CHECK_ARG(config_.workers >= 1, "server needs at least one worker");
+  ABC_CHECK_ARG(config_.queue_capacity >= 1,
+                "run-queue capacity must be nonzero");
+  ABC_CHECK_ARG(config_.pin_dispatch_to <
+                    static_cast<int>(config_.workers),
+                "pin_dispatch_to must name an existing worker");
+  config_.queue_capacity = std::bit_ceil(config_.queue_capacity);
+
+  stats_.per_worker_processed.assign(config_.workers, 0);
+  queues_.reserve(config_.workers);
+  worker_states_.reserve(config_.workers);
+  signals_.reserve(config_.workers);
+  for (std::size_t w = 0; w < config_.workers; ++w) {
+    queues_.push_back(
+        std::make_unique<RunQueue<Pending*>>(config_.queue_capacity));
+    worker_states_.push_back(std::make_unique<WorkerState>());
+    signals_.push_back(std::make_unique<WorkerSignal>());
+  }
+  workers_.reserve(config_.workers);
+  for (std::size_t w = 0; w < config_.workers; ++w) {
+    workers_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+Server::~Server() { stop(); }
+
+void Server::stop() {
+  {
+    std::unique_lock<std::shared_mutex> lock(lifecycle_m_);
+    if (stopping_.exchange(true, std::memory_order_acq_rel)) return;
+  }
+  for (auto& sig : signals_) sig->cv.notify_all();
+  for (auto& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  // Workers are gone and lifecycle_m_ bars new enqueues: whatever is still
+  // queued resolves typed, never hangs.
+  for (auto& q : queues_) {
+    Pending* p = nullptr;
+    while (q->pop(p)) {
+      p->promise.set_value(error_response(p->request.request_id,
+                                          Status::kShuttingDown,
+                                          "server stopped before dispatch"));
+      delete p;
+    }
+  }
+}
+
+u64 Server::register_tenant(const ckks::CkksParams& params,
+                            const ckks::KeyBundleFrames& bundle) {
+  auto ctx = cache_.get_or_create(params);
+  return registry_.add(parse_tenant_bundle(ctx, bundle));
+}
+
+std::future<ckks::ResponseFrame> Server::submit(ckks::RequestFrame request) {
+  auto pending = std::make_unique<Pending>();
+  pending->request = std::move(request);
+  std::future<ckks::ResponseFrame> future = pending->promise.get_future();
+  const u64 request_id = pending->request.request_id;
+
+  auto reject = [&](Status status, std::string message) {
+    pending->promise.set_value(
+        error_response(request_id, status, std::move(message)));
+    return std::move(future);
+  };
+
+  // Admission, in order: liveness, accept fault drill, payload bound,
+  // queue depth. All of it runs before any payload-sized allocation or
+  // enqueue — a rejected request costs the rejecter O(1).
+  std::shared_lock<std::shared_mutex> lifecycle(lifecycle_m_);
+  if (stopping_.load(std::memory_order_acquire)) {
+    return reject(Status::kShuttingDown, "server is shutting down");
+  }
+  try {
+    ABC_FAILPOINT(fail::points::kServerAccept);
+  } catch (const std::exception& e) {
+    return reject(Status::kInternal, e.what());
+  }
+  if (pending->request.payload.size() > config_.max_request_bytes) {
+    {
+      std::lock_guard<std::mutex> lock(stats_m_);
+      ++stats_.rejected_too_large;
+    }
+    return reject(Status::kTooLarge,
+                  "request payload exceeds the admission bound");
+  }
+
+  // Dispatch: pinned (test knob) targets exactly one queue; round-robin
+  // starts at the cursor and tries each queue once, so one backed-up
+  // worker does not reject while siblings have room.
+  bool enqueued = false;
+  std::size_t target = 0;
+  if (config_.pin_dispatch_to >= 0) {
+    target = static_cast<std::size_t>(config_.pin_dispatch_to);
+    enqueued = queues_[target]->push(pending.get());
+  } else {
+    const u64 start = rr_next_.fetch_add(1, std::memory_order_relaxed);
+    for (std::size_t i = 0; i < queues_.size(); ++i) {
+      target = static_cast<std::size_t>((start + i) % queues_.size());
+      if (queues_[target]->push(pending.get())) {
+        enqueued = true;
+        break;
+      }
+    }
+  }
+
+  if (!enqueued) {
+    {
+      std::lock_guard<std::mutex> lock(stats_m_);
+      ++stats_.rejected_queue_full;
+    }
+    try {
+      ABC_FAILPOINT(fail::points::kServerQueueFull);
+    } catch (const std::exception& e) {
+      return reject(Status::kQueueFull, e.what());
+    }
+    return reject(Status::kQueueFull,
+                  "every eligible run queue is at capacity");
+  }
+
+  (void)pending.release();  // the queue owns it now
+  {
+    std::lock_guard<std::mutex> lock(stats_m_);
+    ++stats_.accepted;
+  }
+  signals_[target]->cv.notify_one();
+  if (config_.work_stealing) {
+    for (std::size_t w = 0; w < signals_.size(); ++w) {
+      if (w != target) signals_[w]->cv.notify_one();
+    }
+  }
+  return future;
+}
+
+void Server::worker_loop(std::size_t worker) {
+  WorkerState& state = *worker_states_[worker];
+  WorkerSignal& sig = *signals_[worker];
+  const std::size_t n = queues_.size();
+
+  while (true) {
+    Pending* p = nullptr;
+    if (queues_[worker]->pop(p)) {
+      execute(p, state, /*stolen=*/false);
+      std::lock_guard<std::mutex> lock(stats_m_);
+      ++stats_.processed;
+      ++stats_.per_worker_processed[worker];
+      continue;
+    }
+    if (config_.work_stealing && n > 1) {
+      bool stole = false;
+      for (std::size_t off = 1; off < n && !stole; ++off) {
+        if (queues_[(worker + off) % n]->steal(p)) {
+          execute(p, state, /*stolen=*/true);
+          std::lock_guard<std::mutex> lock(stats_m_);
+          ++stats_.processed;
+          ++stats_.per_worker_processed[worker];
+          stole = true;
+        }
+      }
+      if (stole) continue;
+    }
+    if (stopping_.load(std::memory_order_acquire)) return;
+    std::unique_lock<std::mutex> lock(sig.m);
+    sig.cv.wait_for(lock, std::chrono::microseconds(200));
+  }
+}
+
+void Server::execute(Pending* pending, WorkerState& state, bool stolen) {
+  ckks::ResponseFrame resp;
+  const u64 request_id = pending->request.request_id;
+  // The exception->status taxonomy of the whole daemon: a caller mistake
+  // (malformed envelope, missing key, bad step) is kBadRequest; everything
+  // else — invariant breaks, allocation failure, fault injection — is
+  // kInternal. Either way the worker survives and the promise resolves.
+  try {
+    if (stolen) ABC_FAILPOINT(fail::points::kServerMigrate);
+    ABC_FAILPOINT(fail::points::kServerDispatch);
+    resp = process(pending->request, state);
+  } catch (const InvalidArgument& e) {
+    resp = error_response(request_id, Status::kBadRequest, e.what());
+  } catch (const std::exception& e) {
+    resp = error_response(request_id, Status::kInternal, e.what());
+  } catch (...) {
+    resp = error_response(request_id, Status::kInternal,
+                          "foreign exception during dispatch");
+  }
+  pending->promise.set_value(std::move(resp));
+  delete pending;
+}
+
+ckks::ResponseFrame Server::process_serial(const ckks::RequestFrame& request) {
+  // Fresh single-use worker state: identical code path, zero queues, zero
+  // shared evaluator state — the reference the soak tests diff against.
+  WorkerState state;
+  try {
+    return process(request, state);
+  } catch (const InvalidArgument& e) {
+    return error_response(request.request_id, Status::kBadRequest, e.what());
+  } catch (const std::exception& e) {
+    return error_response(request.request_id, Status::kInternal, e.what());
+  } catch (...) {
+    return error_response(request.request_id, Status::kInternal,
+                          "foreign exception during dispatch");
+  }
+}
+
+ckks::ResponseFrame Server::process(const ckks::RequestFrame& request,
+                                    WorkerState& state) {
+  switch (static_cast<Op>(request.op)) {
+    case Op::kEcho:
+    case Op::kRotate:
+    case Op::kSquare:
+      return evaluate(request, state);
+    case Op::kRegister:
+      return handle_register(request);
+  }
+  return error_response(request.request_id, Status::kUnknownOp,
+                        "unrecognized op byte " +
+                            std::to_string(static_cast<int>(request.op)));
+}
+
+ckks::ResponseFrame Server::evaluate(const ckks::RequestFrame& request,
+                                     WorkerState& state) {
+  const auto tenant = registry_.find(request.tenant);
+  if (!tenant) {
+    return error_response(request.request_id, Status::kUnknownTenant,
+                          "tenant " + std::to_string(request.tenant) +
+                              " is not registered");
+  }
+  std::vector<ckks::Ciphertext> cts =
+      ckks::deserialize_ciphertext_batch(tenant->ctx, request.payload);
+
+  std::vector<ckks::Ciphertext> out;
+  switch (static_cast<Op>(request.op)) {
+    case Op::kEcho:
+      out = std::move(cts);
+      break;
+    case Op::kRotate: {
+      ABC_CHECK_ARG(request.op_arg >= std::numeric_limits<int>::min() &&
+                        request.op_arg <= std::numeric_limits<int>::max(),
+                    "rotation step out of range");
+      out = state.evaluator_for(tenant->ctx)
+                .rotate_batch(cts, static_cast<int>(request.op_arg),
+                              tenant->gks);
+      break;
+    }
+    case Op::kSquare:
+      out = state.evaluator_for(tenant->ctx)
+                .square_relin_batch(cts, tenant->rlk);
+      break;
+    default:
+      ABC_CHECK_STATE(false, "evaluate() reached with a non-evaluate op");
+  }
+
+  ckks::ResponseFrame resp;
+  resp.request_id = request.request_id;
+  resp.status = static_cast<u8>(Status::kOk);
+  resp.payload = ckks::serialize_ciphertext_batch(out, config_.bits_per_coeff);
+  return resp;
+}
+
+ckks::ResponseFrame Server::handle_register(
+    const ckks::RequestFrame& request) {
+  if (request.op_arg < 0 ||
+      static_cast<std::size_t>(request.op_arg) >= config_.param_sets.size()) {
+    return error_response(request.request_id, Status::kBadRequest,
+                          "op_arg does not index the published parameter "
+                          "menu");
+  }
+  const ckks::KeyBundleFrames bundle =
+      ckks::deserialize_key_bundle(request.payload);
+  auto ctx = cache_.get_or_create(
+      config_.param_sets[static_cast<std::size_t>(request.op_arg)]);
+  const u64 id = registry_.add(parse_tenant_bundle(ctx, bundle));
+
+  ckks::ResponseFrame resp;
+  resp.request_id = request.request_id;
+  resp.status = static_cast<u8>(Status::kOk);
+  resp.payload.resize(8);
+  for (int i = 0; i < 8; ++i) {
+    resp.payload[static_cast<std::size_t>(i)] =
+        static_cast<u8>(id >> (8 * i));
+  }
+  return resp;
+}
+
+ServerStats Server::stats() const {
+  ServerStats out;
+  {
+    std::lock_guard<std::mutex> lock(stats_m_);
+    out = stats_;
+  }
+  out.steals = 0;
+  for (const auto& q : queues_) out.steals += q->steals();
+  return out;
+}
+
+}  // namespace abc::server

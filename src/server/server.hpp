@@ -1,0 +1,194 @@
+#pragma once
+
+/// @file server.hpp
+/// engine::ClientSession's counterpart: the long-lived multi-tenant FHE
+/// serving daemon. One Server owns
+///
+///  * a warm ContextCache (parameter set -> shared CkksContext),
+///  * a SessionRegistry of tenants and their expanded keys,
+///  * N per-core worker threads, each draining its own bounded SPSC
+///    RunQueue, with cross-core work stealing when a sibling backs up,
+///  * admission control that bounds queue depth and per-request bytes
+///    *before* any buffer is reserved (the PR 5/PR 7 envelope-hardening
+///    philosophy applied to the daemon's front door).
+///
+/// Request lifecycle (docs/ARCHITECTURE.md has the full diagram):
+///
+///   submit(frame) ── admission ──> RunQueue[w] ──> worker w (or a
+///   stealing sibling) ──> process: registry lookup -> deserialize "ABCB"
+///   -> BatchEvaluator op -> reserialize ──> promise -> future
+///
+/// Every failure is a *typed response*, never a hang or a crashed worker:
+/// admission rejections (kQueueFull, kTooLarge) answer immediately
+/// without enqueueing; execution faults map exception -> status
+/// (InvalidArgument -> kBadRequest, anything else -> kInternal) per
+/// request. Failpoints server.accept / server.queue_full /
+/// server.dispatch / server.migrate sit on those paths so the fault
+/// drills can prove it.
+///
+/// Determinism: request processing consumes no PRNG stream and each
+/// request is self-contained, so a response's bytes depend only on the
+/// request and the tenant's registered keys — independent of worker
+/// count, dispatch order, and steal schedule. process_serial() runs the
+/// exact worker code path on the calling thread; the soak tests assert
+/// daemon responses byte-identical to it.
+
+#include <atomic>
+#include <cstddef>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <thread>
+#include <vector>
+
+#include "ckks/serialize.hpp"
+#include "engine/batch_evaluator.hpp"
+#include "server/run_queue.hpp"
+#include "server/session_registry.hpp"
+
+namespace abc::server {
+
+/// Request op byte (RequestFrame::op). kRegister's op_arg indexes the
+/// server's published parameter menu (ServerConfig::param_sets) and its
+/// payload is an "ABCP" key bundle; the evaluate ops take an "ABCB"
+/// ciphertext batch and kRotate's op_arg is the step.
+enum class Op : u8 {
+  kEcho = 0,      // deserialize + reserialize (round-trip/loopback)
+  kRotate = 1,    // rotate every ciphertext left by op_arg slots
+  kSquare = 2,    // square + relinearize every ciphertext
+  kRegister = 3,  // register a tenant; response payload = 8-byte id
+};
+
+/// Response status byte (ResponseFrame::status). Everything except kOk
+/// carries a human-readable ResponseFrame::error.
+enum class Status : u8 {
+  kOk = 0,
+  kBadRequest = 1,     // rejected input (InvalidArgument anywhere)
+  kUnknownTenant = 2,  // tenant id not registered
+  kUnknownOp = 3,      // op byte outside the enum
+  kTooLarge = 4,       // payload exceeds max_request_bytes (admission)
+  kQueueFull = 5,      // every run queue full (admission backpressure)
+  kInternal = 6,       // invariant/allocation/foreign exception
+  kShuttingDown = 7,   // submitted or still queued at stop()
+};
+
+const char* status_name(Status s) noexcept;
+
+struct ServerConfig {
+  /// Per-core worker threads (>= 1).
+  std::size_t workers = 1;
+  /// Per-worker run-queue capacity; rounded up to a power of two.
+  std::size_t queue_capacity = 64;
+  /// Admission bound on RequestFrame::payload bytes.
+  std::size_t max_request_bytes = 64u << 20;
+  /// Allow idle workers to drain a backed-up sibling's queue.
+  bool work_stealing = true;
+  /// Packed residue width of response envelopes.
+  int bits_per_coeff = 44;
+  /// Parameter sets kRegister may target (op_arg = index). Published
+  /// explicitly because an "ABCK" blob alone cannot reconstruct a full
+  /// parameter set — a real deployment pins what it serves.
+  std::vector<ckks::CkksParams> param_sets;
+  /// Test knob: route every request to this queue (-1 = round-robin).
+  /// Lets tests fill one queue deterministically (backpressure) or force
+  /// cross-core migration (an idle sibling must steal to make progress).
+  int pin_dispatch_to = -1;
+};
+
+struct ServerStats {
+  u64 accepted = 0;            // enqueued to some run queue
+  u64 rejected_too_large = 0;  // admission: payload bound
+  u64 rejected_queue_full = 0; // admission: every eligible queue full
+  u64 processed = 0;           // responses produced by workers
+  u64 steals = 0;              // requests drained via migration
+  std::vector<u64> per_worker_processed;
+};
+
+class Server {
+ public:
+  explicit Server(ServerConfig config = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  const ServerConfig& config() const noexcept { return config_; }
+
+  /// Drains nothing: queued-but-unprocessed requests resolve with
+  /// kShuttingDown so no future ever hangs. Idempotent.
+  void stop();
+
+  // -- tenants ----------------------------------------------------------------
+
+  /// Warm-context lookup (exposed so loopback clients can share the
+  /// daemon's context, and for the cache-keying tests).
+  std::shared_ptr<const ckks::CkksContext> context_for(
+      const ckks::CkksParams& params) {
+    return cache_.get_or_create(params);
+  }
+
+  /// In-process registration: the same path Op::kRegister takes, minus
+  /// the wire frames. Returns the tenant id.
+  u64 register_tenant(const ckks::CkksParams& params,
+                      const ckks::KeyBundleFrames& bundle);
+  bool unregister_tenant(u64 tenant) { return registry_.erase(tenant); }
+
+  // -- requests ---------------------------------------------------------------
+
+  /// Admission + dispatch. Always returns a future that resolves — to the
+  /// op's response, or to a typed error (admission rejections resolve
+  /// immediately, before any enqueue or payload copy).
+  std::future<ckks::ResponseFrame> submit(ckks::RequestFrame request);
+
+  /// submit() + wait: the synchronous convenience the transports use.
+  ckks::ResponseFrame call(ckks::RequestFrame request) {
+    return submit(std::move(request)).get();
+  }
+
+  /// The exact per-request code path the workers run, executed on the
+  /// calling thread with no queues involved — the serial reference every
+  /// bit-identity soak test compares daemon responses against.
+  ckks::ResponseFrame process_serial(const ckks::RequestFrame& request);
+
+  ServerStats stats() const;
+
+ private:
+  struct Pending;      // queued request + promise
+  struct WorkerState;  // per-worker BatchEvaluator cache
+
+  void worker_loop(std::size_t worker);
+  void execute(Pending* pending, WorkerState& state, bool stolen);
+  ckks::ResponseFrame process(const ckks::RequestFrame& request,
+                              WorkerState& state);
+  ckks::ResponseFrame evaluate(const ckks::RequestFrame& request,
+                               WorkerState& state);
+  ckks::ResponseFrame handle_register(const ckks::RequestFrame& request);
+
+  ServerConfig config_;
+  ContextCache cache_;
+  SessionRegistry registry_;
+
+  std::vector<std::unique_ptr<RunQueue<Pending*>>> queues_;
+  std::vector<std::thread> workers_;
+  std::vector<std::unique_ptr<WorkerState>> worker_states_;
+
+  // Sleep/wake plumbing: the queues stay lock-free; these only gate
+  // blocking when a worker finds every queue empty.
+  struct WorkerSignal;
+  std::vector<std::unique_ptr<WorkerSignal>> signals_;
+
+  // submit() holds this shared around its stopping-check + enqueue; stop()
+  // holds it exclusive while flipping stopping_. Without it a submit that
+  // passed the check could enqueue *after* stop() drained the queues and
+  // its future would never resolve.
+  mutable std::shared_mutex lifecycle_m_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<u64> rr_next_{0};  // round-robin dispatch cursor
+
+  mutable std::mutex stats_m_;
+  ServerStats stats_;
+};
+
+}  // namespace abc::server

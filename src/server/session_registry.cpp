@@ -1,0 +1,108 @@
+#include "server/session_registry.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace abc::server {
+
+std::shared_ptr<const ckks::CkksContext> ContextCache::get_or_create(
+    const ckks::CkksParams& params) {
+  std::lock_guard<std::mutex> lock(m_);
+  for (const auto& [key, ctx] : entries_) {
+    if (key == params) {
+      ++hits_;
+      return ctx;
+    }
+  }
+  ++misses_;
+  // Scalar backend on purpose (see the header): request-level parallelism
+  // belongs to the daemon's per-core workers.
+  auto ctx = ckks::CkksContext::create(params);
+  entries_.emplace_back(params, ctx);
+  return ctx;
+}
+
+std::size_t ContextCache::size() const {
+  std::lock_guard<std::mutex> lock(m_);
+  return entries_.size();
+}
+
+u64 ContextCache::hits() const {
+  std::lock_guard<std::mutex> lock(m_);
+  return hits_;
+}
+
+u64 ContextCache::misses() const {
+  std::lock_guard<std::mutex> lock(m_);
+  return misses_;
+}
+
+TenantSession parse_tenant_bundle(
+    const std::shared_ptr<const ckks::CkksContext>& ctx,
+    const ckks::KeyBundleFrames& bundle) {
+  ABC_CHECK_ARG(ctx != nullptr, "null context");
+  TenantSession session;
+  session.ctx = ctx;
+  session.pk = deserialize_public_key(ctx, bundle.public_key);
+  ckks::KeySwitchKey rlk = deserialize_key_switch_key(ctx, bundle.relin_key);
+  ABC_CHECK_ARG(rlk.kind == ckks::KeySwitchKey::Kind::kRelin,
+                "bundle relin slot holds a non-relin key");
+  session.rlk = ckks::RelinKey{std::move(rlk)};
+
+  // Recover each Galois key's rotation step from its group element: walk
+  // g = 3^s mod 2N once (the generator the encoder's slot order is built
+  // on) and invert the map. O(slots) total, paid once per registration.
+  const std::size_t n = ctx->n();
+  const std::size_t slots = ctx->slots();
+  std::unordered_map<u32, int> elt_to_step;
+  elt_to_step.reserve(slots);
+  u64 g = 1;
+  for (std::size_t s = 1; s < slots; ++s) {
+    g = (g * 3) % (2 * n);
+    elt_to_step.emplace(static_cast<u32>(g), static_cast<int>(s));
+  }
+
+  session.gks.slots = slots;
+  session.gks.steps.reserve(bundle.galois_keys.size());
+  session.gks.keys.reserve(bundle.galois_keys.size());
+  for (const std::vector<u8>& blob : bundle.galois_keys) {
+    ckks::KeySwitchKey gk = deserialize_key_switch_key(ctx, blob);
+    ABC_CHECK_ARG(gk.kind == ckks::KeySwitchKey::Kind::kGalois,
+                  "bundle Galois slot holds a non-Galois key");
+    const auto it = elt_to_step.find(gk.galois_elt);
+    ABC_CHECK_ARG(it != elt_to_step.end(),
+                  "Galois element is not a slot rotation for these "
+                  "parameters");
+    session.gks.steps.push_back(it->second);
+    session.gks.keys.push_back(std::move(gk));
+  }
+  return session;
+}
+
+u64 SessionRegistry::add(TenantSession session) {
+  std::unique_lock<std::shared_mutex> lock(m_);
+  const u64 id = next_id_++;
+  session.id = id;
+  tenants_.emplace(id,
+                   std::make_shared<const TenantSession>(std::move(session)));
+  return id;
+}
+
+std::shared_ptr<const TenantSession> SessionRegistry::find(u64 tenant) const {
+  std::shared_lock<std::shared_mutex> lock(m_);
+  const auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? nullptr : it->second;
+}
+
+bool SessionRegistry::erase(u64 tenant) {
+  std::unique_lock<std::shared_mutex> lock(m_);
+  return tenants_.erase(tenant) != 0;
+}
+
+std::size_t SessionRegistry::size() const {
+  std::shared_lock<std::shared_mutex> lock(m_);
+  return tenants_.size();
+}
+
+}  // namespace abc::server

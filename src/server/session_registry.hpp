@@ -1,0 +1,99 @@
+#pragma once
+
+/// @file session_registry.hpp
+/// Multi-tenant state of the serving daemon: the warm CkksContext cache
+/// keyed by parameter set, and the registry mapping tenant ids to their
+/// registered (seed-compressed, now expanded) key material.
+///
+/// Cache semantics the tests pin down:
+///  * two tenants with the *same* parameter set share one context — one
+///    prime chain, one set of NTT tables, one context-wide stream/secret
+///    counter pair — so per-tenant warm cost is keys only;
+///  * different parameter sets never share (CkksParams::operator== is the
+///    key, seed included);
+///  * the shared counters stay monotone across tenants: registration and
+///    serving never reserve ids themselves (deserialization regenerates
+///    from *stored* stream ids), so client engines on a cached context
+///    keep the never-alias guarantee no matter how many tenants join.
+///
+/// Server contexts deliberately use the process-wide ScalarBackend: the
+/// daemon parallelizes across requests (one per core-worker), not inside
+/// one, so nested pools never fight for cores.
+
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "ckks/context.hpp"
+#include "ckks/keygen.hpp"
+#include "ckks/serialize.hpp"
+
+namespace abc::server {
+
+class ContextCache {
+ public:
+  /// Returns the cached context for @p params, building it (scalar
+  /// backend) on first use. Thread-safe.
+  std::shared_ptr<const ckks::CkksContext> get_or_create(
+      const ckks::CkksParams& params);
+
+  std::size_t size() const;
+  u64 hits() const;
+  u64 misses() const;
+
+ private:
+  mutable std::mutex m_;
+  // Param sets in service are few; a linear scan under the lock beats
+  // hashing a 9-field struct.
+  std::vector<std::pair<ckks::CkksParams,
+                        std::shared_ptr<const ckks::CkksContext>>>
+      entries_;
+  u64 hits_ = 0;
+  u64 misses_ = 0;
+};
+
+/// One registered tenant: the expanded key material a request needs,
+/// pinned to the (shared) context it was registered under. Immutable after
+/// registration, so workers read it lock-free through a shared_ptr.
+struct TenantSession {
+  u64 id = 0;
+  std::shared_ptr<const ckks::CkksContext> ctx;
+  // optional only because PublicKey is not default-constructible (RnsPoly
+  // needs a context); always engaged after parse_tenant_bundle.
+  std::optional<ckks::PublicKey> pk;
+  ckks::RelinKey rlk;
+  ckks::GaloisKeys gks;  // steps recovered from the keys' Galois elements
+};
+
+/// Parses a tenant's uploaded key bundle against @p ctx: public key,
+/// relinearization key, and Galois keys whose rotation steps are recovered
+/// from their Galois elements (the "ABCK" blobs carry 3^step mod 2N, not
+/// the step). Throws InvalidArgument on any malformed, tampered or
+/// wrong-kind blob — registration is all-or-nothing.
+TenantSession parse_tenant_bundle(
+    const std::shared_ptr<const ckks::CkksContext>& ctx,
+    const ckks::KeyBundleFrames& bundle);
+
+class SessionRegistry {
+ public:
+  /// Registers @p session under a fresh id (returned, also written into
+  /// the stored session). Ids are never reused.
+  u64 add(TenantSession session);
+
+  /// nullptr when unknown — the caller turns that into the typed
+  /// kUnknownTenant response.
+  std::shared_ptr<const TenantSession> find(u64 tenant) const;
+
+  bool erase(u64 tenant);
+  std::size_t size() const;
+
+ private:
+  mutable std::shared_mutex m_;
+  std::unordered_map<u64, std::shared_ptr<const TenantSession>> tenants_;
+  u64 next_id_ = 1;
+};
+
+}  // namespace abc::server

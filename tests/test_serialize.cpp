@@ -241,5 +241,111 @@ TEST(Serialize, CorruptCiphertextBatchRejected) {
                InvalidArgument);
 }
 
+// -- serving-daemon framing --------------------------------------------------
+
+TEST(RequestFrame, RoundTripPreservesEveryField) {
+  RequestFrame req;
+  req.tenant = 0xdeadbeefcafe;
+  req.request_id = 42;
+  req.op = 7;
+  req.op_arg = -3;  // negative op_arg survives the u64 wire cast
+  req.payload = {0x01, 0x00, 0xff, 0x7f};
+  const std::vector<u8> bytes = serialize_request_frame(req);
+  const RequestFrame back = deserialize_request_frame(bytes);
+  EXPECT_EQ(back.tenant, req.tenant);
+  EXPECT_EQ(back.request_id, req.request_id);
+  EXPECT_EQ(back.op, req.op);
+  EXPECT_EQ(back.op_arg, req.op_arg);
+  EXPECT_EQ(back.payload, req.payload);
+}
+
+TEST(ResponseFrame, RoundTripPreservesEveryField) {
+  ResponseFrame resp;
+  resp.request_id = 7;
+  resp.status = 5;
+  resp.error = "every eligible run queue is at capacity";
+  resp.payload = {0xaa, 0xbb};
+  const std::vector<u8> bytes = serialize_response_frame(resp);
+  const ResponseFrame back = deserialize_response_frame(bytes);
+  EXPECT_EQ(back.request_id, resp.request_id);
+  EXPECT_EQ(back.status, resp.status);
+  EXPECT_EQ(back.error, resp.error);
+  EXPECT_EQ(back.payload, resp.payload);
+
+  // Empty error and payload are valid frames too.
+  const ResponseFrame empty =
+      deserialize_response_frame(serialize_response_frame(ResponseFrame{}));
+  EXPECT_TRUE(empty.error.empty());
+  EXPECT_TRUE(empty.payload.empty());
+}
+
+TEST(RequestFrame, EveryTruncationAndTrailingByteRejected) {
+  RequestFrame req;
+  req.tenant = 1;
+  req.request_id = 2;
+  req.op = 1;
+  req.payload = {1, 2, 3, 4, 5};
+  const std::vector<u8> good = serialize_request_frame(req);
+  ASSERT_NO_THROW(deserialize_request_frame(good));
+  // The whole prefix lattice: every strict prefix is a truncation.
+  for (std::size_t len = 0; len < good.size(); ++len) {
+    std::vector<u8> prefix(good.begin(),
+                           good.begin() + static_cast<std::ptrdiff_t>(len));
+    EXPECT_THROW(deserialize_request_frame(prefix), InvalidArgument)
+        << "prefix " << len;
+  }
+  std::vector<u8> trailing = good;
+  trailing.push_back(0);
+  EXPECT_THROW(deserialize_request_frame(trailing), InvalidArgument);
+  std::vector<u8> bad_magic = good;
+  bad_magic[0] ^= 0xff;
+  EXPECT_THROW(deserialize_request_frame(bad_magic), InvalidArgument);
+}
+
+TEST(RequestFrame, ForgedPayloadLengthRejectedBeforeAllocation) {
+  RequestFrame req;
+  req.payload = {1, 2, 3};
+  std::vector<u8> bytes = serialize_request_frame(req);
+  // The payload length prefix is the last 4-byte field before the bytes;
+  // forge it to claim ~4 GiB backed by 3 actual bytes.
+  const std::size_t len_at = bytes.size() - req.payload.size() - 4;
+  for (std::size_t i = 0; i < 4; ++i) bytes[len_at + i] = 0xff;
+  EXPECT_THROW(deserialize_request_frame(bytes), InvalidArgument);
+}
+
+TEST(ResponseFrame, OversizedErrorStringRejectedBothDirections) {
+  ResponseFrame resp;
+  resp.error.assign((64u << 10) + 1, 'x');  // one byte over the wire bound
+  EXPECT_THROW(serialize_response_frame(resp), InvalidArgument);
+  resp.error.resize(64u << 10);
+  const std::vector<u8> bytes = serialize_response_frame(resp);
+  EXPECT_EQ(deserialize_response_frame(bytes).error.size(), 64u << 10);
+}
+
+TEST(KeyBundleFrames, RoundTripAndForgedCountRejected) {
+  KeyBundleFrames bundle;
+  bundle.public_key = {1, 2, 3};
+  bundle.relin_key = {4, 5};
+  bundle.galois_keys = {{6}, {}, {7, 8, 9}};
+  const std::vector<u8> good = serialize_key_bundle(bundle);
+  const KeyBundleFrames back = deserialize_key_bundle(good);
+  EXPECT_EQ(back.public_key, bundle.public_key);
+  EXPECT_EQ(back.relin_key, bundle.relin_key);
+  EXPECT_EQ(back.galois_keys, bundle.galois_keys);
+
+  // Forged Galois count far beyond the remaining bytes: rejected up
+  // front, before any reserve.
+  std::vector<u8> forged = good;
+  for (std::size_t i = 4; i < 8; ++i) forged[i] = 0xff;
+  EXPECT_THROW(deserialize_key_bundle(forged), InvalidArgument);
+
+  std::vector<u8> truncated = good;
+  truncated.pop_back();
+  EXPECT_THROW(deserialize_key_bundle(truncated), InvalidArgument);
+  std::vector<u8> trailing = good;
+  trailing.push_back(0);
+  EXPECT_THROW(deserialize_key_bundle(trailing), InvalidArgument);
+}
+
 }  // namespace
 }  // namespace abc::ckks
