@@ -8,9 +8,14 @@
 //   bench_server_saturation [--quick] [--reps N] [--json out.json]
 //
 // JSON records: one per (op, workers) with requests_per_s, one latency
-// record per op with p50/p99 seconds, and speedup_4w_<op> scalars.
+// record per op with p50/p99 seconds, speedup_4w_<op> scalars, and one
+// histogram_layout record pinning the shared log2 bucket boundaries so
+// latency numbers stay comparable across PRs.
+//
+// Latency percentiles come from the same obs::Histogram implementation
+// the daemon's server.request_ns metric uses (one instance per op); under
+// ABC_NO_METRICS they read 0 and the record says metrics_enabled: 0.
 
-#include <algorithm>
 #include <complex>
 #include <cstdio>
 #include <future>
@@ -20,6 +25,8 @@
 
 #include "bench_util.hpp"
 #include "engine/client_session.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "server/server.hpp"
 
 namespace {
@@ -150,40 +157,62 @@ int main(int argc, char** argv) {
     }
 
     // Closed-loop latency on an otherwise idle daemon: one request in
-    // flight, percentiles over the sample set.
+    // flight, samples recorded into the shared log2 histogram (a fresh
+    // per-op instance of the same implementation backing the daemon's
+    // server.request_ns), percentiles extracted from its buckets.
     {
       ServerConfig cfg;
       cfg.param_sets = {params};
       Server srv(cfg);
       const u64 tenant = srv.register_tenant(params, frames);
-      std::vector<double> samples;
-      samples.reserve(latency_samples);
+      abc::obs::Histogram latency_ns =
+          abc::obs::registry().histogram("bench.latency_ns");
       for (std::size_t i = 0; i < latency_samples; ++i) {
-        const auto t0 = std::chrono::steady_clock::now();
+        const u64 t0 = abc::obs::now_ns();
         const abc::ckks::ResponseFrame resp =
             srv.call(make_request(tenant, i, c.op, c.arg, upload));
-        const auto t1 = std::chrono::steady_clock::now();
+        const u64 t1 = abc::obs::now_ns();
         if (resp.status != static_cast<u8>(Status::kOk)) {
           std::fprintf(stderr, "latency request failed: %s\n",
                        resp.error.c_str());
           return 1;
         }
-        samples.push_back(std::chrono::duration<double>(t1 - t0).count());
+        latency_ns.record(t1 - t0);
       }
-      std::sort(samples.begin(), samples.end());
-      const double p50 = samples[samples.size() / 2];
-      const double p99 = samples[std::min(samples.size() - 1,
-                                          samples.size() * 99 / 100)];
-      std::printf("  %-6s latency p50 %s  p99 %s\n", c.name,
-                  abc::bench::fmt_time(p50).c_str(),
-                  abc::bench::fmt_time(p99).c_str());
+      const abc::obs::HistogramValue hist = latency_ns.read();
+      const double p50 = hist.quantile(0.50) * 1e-9;
+      const double p99 = hist.quantile(0.99) * 1e-9;
+      std::printf("  %-6s latency p50 %s  p99 %s  (histogram, %llu samples)\n",
+                  c.name, abc::bench::fmt_time(p50).c_str(),
+                  abc::bench::fmt_time(p99).c_str(),
+                  static_cast<unsigned long long>(hist.count));
       abc::bench::BenchResult r;
       r.name = std::string("latency_") + c.name;
       r.labels.emplace_back("op", c.name);
       r.metrics.emplace_back("p50_seconds", p50);
       r.metrics.emplace_back("p99_seconds", p99);
+      r.metrics.emplace_back("samples", static_cast<double>(hist.count));
+      r.metrics.emplace_back("metrics_enabled",
+                             abc::obs::kMetricsEnabled ? 1.0 : 0.0);
       reporter.add_record(std::move(r));
     }
+  }
+
+  // Pin the shared histogram layout into the JSON: every latency record
+  // above (and every server scrape) buckets against these boundaries, so
+  // runs are comparable across PRs as long as this record matches.
+  {
+    abc::bench::BenchResult r;
+    r.name = "histogram_layout";
+    r.metrics.emplace_back("buckets",
+                           static_cast<double>(abc::obs::kHistBuckets));
+    for (std::size_t i = 0; i < abc::obs::kHistBuckets; ++i) {
+      char key[32];
+      std::snprintf(key, sizeof key, "lower_%02zu", i);
+      r.metrics.emplace_back(
+          key, static_cast<double>(abc::obs::hist_bucket_lower(i)));
+    }
+    reporter.add_record(std::move(r));
   }
 
   if (!args.json_path.empty() && !reporter.write(args.json_path)) return 1;

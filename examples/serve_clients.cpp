@@ -6,16 +6,27 @@
 // slot is verified against the sent messages. A rotate request per client
 // checks the compute path too.
 //
+// After the clients finish, the demo scrapes the daemon's metrics the way
+// an operator would: an Op::kStats admin request over a Unix-domain
+// socket, answered with the JSON document every instrumented subsystem
+// feeds (counters, gauges, latency histograms, recent traces).
+//
 // Exits nonzero if any client's round trip fails to verify — the same
 // check CI's example smoke gates on.
 //
 // Build & run:
 //   cmake -B build && cmake --build build -j
-//   ./build/serve_clients
+//   ./build/serve_clients [--stats-json <path>]
+//
+// --stats-json writes the scraped kStats payload to <path> (CI validates
+// it with tools/check_stats_scrape.py).
+
+#include <unistd.h>
 
 #include <chrono>
 #include <complex>
 #include <cstdio>
+#include <cstring>
 #include <mutex>
 #include <random>
 #include <string>
@@ -26,8 +37,14 @@
 #include "server/server.hpp"
 #include "server/transport.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace abc;
+  std::string stats_json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--stats-json") == 0 && i + 1 < argc) {
+      stats_json_path = argv[++i];
+    }
+  }
   using Clock = std::chrono::steady_clock;
   const auto t0 = Clock::now();
 
@@ -130,6 +147,42 @@ int main() {
               static_cast<unsigned long long>(stats.processed),
               static_cast<unsigned long long>(stats.steals),
               stats.per_worker_processed.size());
+  // Operator-style observability: scrape Op::kStats over a Unix-domain
+  // socket — the exact path a monitoring agent would use against a
+  // deployed daemon — and show a few headline numbers.
+  try {
+    const std::string sock_path =
+        "/tmp/abc_serve_clients_" + std::to_string(::getpid()) + ".sock";
+    server::UdsServer uds(daemon, sock_path);
+    server::UdsChannel chan(sock_path);
+    ckks::RequestFrame req;
+    req.request_id = 1;
+    req.op = static_cast<u8>(server::Op::kStats);
+    const ckks::ResponseFrame resp = chan.call(req);
+    if (resp.status != static_cast<u8>(server::Status::kOk)) {
+      std::fprintf(stderr, "kStats scrape answered %s: %s\n",
+                   server::status_name(
+                       static_cast<server::Status>(resp.status)),
+                   resp.error.c_str());
+      return 1;
+    }
+    const std::string json(resp.payload.begin(), resp.payload.end());
+    std::printf("kStats scrape over UDS: %zu bytes of JSON\n", json.size());
+    if (!stats_json_path.empty()) {
+      std::FILE* f = std::fopen(stats_json_path.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", stats_json_path.c_str());
+        return 1;
+      }
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fclose(f);
+      std::printf("stats written to %s\n", stats_json_path.c_str());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "kStats scrape failed: %s\n", e.what());
+    return 1;
+  }
+
   const double secs =
       std::chrono::duration<double>(Clock::now() - t0).count();
   if (!failures.empty()) {

@@ -5,6 +5,8 @@
 #include "backend/poly_backend.hpp"
 #include "common/bitops.hpp"
 #include "common/failpoint.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "simd/dyadic_kernels.hpp"
 #include "transform/op_counter.hpp"
 
@@ -14,6 +16,22 @@ namespace {
 
 std::span<u64> slice(std::vector<u64>& buf, std::size_t index, std::size_t n) {
   return std::span<u64>(buf).subspan(index * n, n);
+}
+
+// Leaked (like the global registry) so a key switch during static
+// teardown still has live handles.
+struct KsMetrics {
+  obs::Counter decompositions =
+      obs::registry().counter(obs::catalog::kKeySwitchDecompositions);
+  obs::Counter accumulations =
+      obs::registry().counter(obs::catalog::kKeySwitchAccumulations);
+  obs::Counter hoist_reuses =
+      obs::registry().counter(obs::catalog::kKeySwitchHoistReuses);
+};
+
+KsMetrics& ks_metrics() {
+  static KsMetrics* m = new KsMetrics;
+  return *m;
 }
 
 }  // namespace
@@ -119,6 +137,10 @@ void KeySwitcher::decompose(const poly::RnsPoly& c_coeff,
     xf::op_counts().other += n;
     pctx.ntt(jidx).forward(out);
   });
+
+  scratch.staged_consumed = false;
+  ks_metrics().decompositions.inc();
+  if (obs::Trace* t = obs::active_trace()) t->ks_decompositions += 1;
 }
 
 void KeySwitcher::accumulate(const KeySwitchKey& key,
@@ -197,6 +219,16 @@ void KeySwitcher::accumulate(const KeySwitchKey& key,
     xf::op_counts().poly_mul += n;
     xf::op_counts().poly_add += 2 * n;
   });
+
+  // A second accumulation against digits this scratch already consumed is
+  // a hoisted reuse — the rotate_many amortization the roadmap banks on.
+  ks_metrics().accumulations.inc();
+  if (scratch.staged_consumed) ks_metrics().hoist_reuses.inc();
+  if (obs::Trace* t = obs::active_trace()) {
+    t->ks_accumulations += 1;
+    if (scratch.staged_consumed) t->ks_hoist_reuses += 1;
+  }
+  scratch.staged_consumed = true;
 }
 
 void KeySwitcher::switch_key(const poly::RnsPoly& c_coeff,

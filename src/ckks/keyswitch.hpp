@@ -88,6 +88,10 @@ struct KeySwitchScratch {
   std::vector<u64> tmp;       // [workers][n] per-worker staging
   std::vector<u32> perm;      // eval-domain automorphism table
   std::optional<poly::RnsPoly> work;  // component staging (INTT / sigma(c0))
+  // Observability only: true once an accumulate() consumed the staged
+  // digits, so a second accumulate() against the same decomposition is
+  // countable as a hoist reuse (keyswitch.hoist_reuses).
+  bool staged_consumed = false;
 };
 
 /// Permutation table applying sigma_g directly in the evaluation domain:

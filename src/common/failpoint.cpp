@@ -171,6 +171,13 @@ const bool g_env_installed = [] {
 
 }  // namespace
 
+namespace {
+
+std::atomic<u64> g_total_hits{0};
+std::atomic<u64> g_total_fires{0};
+
+}  // namespace
+
 namespace detail {
 
 std::atomic<int> g_armed_count{0};
@@ -186,6 +193,7 @@ void hit(const char* name) {
     if (it == reg.points.end()) return;
     PointState& state = it->second;
     state.hits += 1;
+    g_total_hits.fetch_add(1, std::memory_order_relaxed);
     if (state.exhausted) return;
     switch (state.policy.trigger) {
       case Trigger::kAlways:
@@ -202,6 +210,7 @@ void hit(const char* name) {
     }
     if (!fired) return;
     state.fires += 1;
+    g_total_fires.fetch_add(1, std::memory_order_relaxed);
     action = state.policy.action;
     delay_us = state.policy.delay_us;
     if (state.policy.max_fires != 0 &&
@@ -269,6 +278,9 @@ u64 fires(std::string_view name) {
   const auto it = reg.points.find(name);
   return it == reg.points.end() ? 0 : it->second.fires;
 }
+
+u64 total_hits() { return g_total_hits.load(std::memory_order_relaxed); }
+u64 total_fires() { return g_total_fires.load(std::memory_order_relaxed); }
 
 void install_spec(std::string_view spec) {
   std::string_view rest = spec;

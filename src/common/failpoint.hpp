@@ -85,6 +85,12 @@ bool armed(std::string_view name);
 u64 hits(std::string_view name);
 u64 fires(std::string_view name);
 
+/// Lifetime totals across every point and every arm/disarm cycle
+/// (per-point state dies with disarm; these never reset). Monotone —
+/// the obs metrics registry re-exports them as failpoint.hits/fires.
+u64 total_hits();
+u64 total_fires();
+
 /// Parses and arms an ABC_FAILPOINTS-grammar spec; throws InvalidArgument
 /// on a malformed spec. Exposed for tests and tools.
 void install_spec(std::string_view spec);

@@ -1,8 +1,47 @@
 #include "engine/fan_out_core.hpp"
 
 #include "common/check.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace abc::engine {
+
+namespace {
+
+// Leaked (like the global registry) so late fan-outs during static
+// teardown still have live handles.
+struct EngineMetrics {
+  obs::Counter processed =
+      obs::registry().counter(obs::catalog::kEngineItemsProcessed);
+  obs::Counter failed =
+      obs::registry().counter(obs::catalog::kEngineItemsFailed);
+  obs::Histogram item_ns =
+      obs::registry().histogram(obs::catalog::kEngineItemNs);
+};
+
+EngineMetrics& engine_metrics() {
+  static EngineMetrics* m = new EngineMetrics;
+  return *m;
+}
+
+/// Times one item and books it as processed/failed. Exceptions propagate
+/// (the throwing-mode contract) after being counted.
+template <class F>
+void timed_item(F&& f) {
+  EngineMetrics& m = engine_metrics();
+  const u64 t0 = obs::now_ns();
+  try {
+    f();
+  } catch (...) {
+    m.item_ns.record(obs::now_ns() - t0);
+    m.failed.inc();
+    throw;
+  }
+  m.item_ns.record(obs::now_ns() - t0);
+  m.processed.inc();
+}
+
+}  // namespace
 
 FanOutCore::FanOutCore(std::shared_ptr<const ckks::CkksContext> ctx)
     : ctx_(std::move(ctx)) {
@@ -12,14 +51,16 @@ FanOutCore::FanOutCore(std::shared_ptr<const ckks::CkksContext> ctx)
 
 void FanOutCore::run(std::size_t count, const Job& job) const {
   if (count == 0) return;
-  ctx_->backend().parallel_for(count, job);
+  ctx_->backend().parallel_for(count, [&](std::size_t i, std::size_t worker) {
+    timed_item([&] { job(i, worker); });
+  });
 }
 
 void FanOutCore::run_with_ids(std::size_t count, const IdJob& job) const {
   if (count == 0) return;
   const u64 base = reserve_stream_ids(count);
   ctx_->backend().parallel_for(count, [&](std::size_t i, std::size_t worker) {
-    job(i, worker, base + i);
+    timed_item([&] { job(i, worker, base + i); });
   });
 }
 
@@ -45,10 +86,12 @@ BatchErrorReport FanOutCore::run_isolated(std::size_t count,
                                           const Job& job) const {
   std::vector<ItemStatus> statuses(count);
   if (count != 0) {
+    EngineMetrics& m = engine_metrics();
     ctx_->backend().parallel_for(count, [&](std::size_t i,
                                             std::size_t worker) {
       // Each slot is owned by exactly one item, so recording the outcome
       // needs no lock and a failed neighbour cannot disturb a success.
+      const u64 t0 = obs::now_ns();
       try {
         job(i, worker);
       } catch (const std::exception& e) {
@@ -58,6 +101,8 @@ BatchErrorReport FanOutCore::run_isolated(std::size_t count,
         statuses[i].ok = false;
         statuses[i].error = "unknown exception";
       }
+      m.item_ns.record(obs::now_ns() - t0);
+      (statuses[i].ok ? m.processed : m.failed).inc();
     });
   }
   return fold_statuses(std::move(statuses));
@@ -71,8 +116,10 @@ BatchErrorReport FanOutCore::run_with_ids_isolated(std::size_t count,
     // item, failed or not — so surviving items consume the same streams a
     // fault-free batch would and stay bit-identical to it.
     const u64 base = reserve_stream_ids(count);
+    EngineMetrics& m = engine_metrics();
     ctx_->backend().parallel_for(count, [&](std::size_t i,
                                             std::size_t worker) {
+      const u64 t0 = obs::now_ns();
       try {
         job(i, worker, base + i);
       } catch (const std::exception& e) {
@@ -82,6 +129,8 @@ BatchErrorReport FanOutCore::run_with_ids_isolated(std::size_t count,
         statuses[i].ok = false;
         statuses[i].error = "unknown exception";
       }
+      m.item_ns.record(obs::now_ns() - t0);
+      (statuses[i].ok ? m.processed : m.failed).inc();
     });
   }
   return fold_statuses(std::move(statuses));

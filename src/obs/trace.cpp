@@ -1,0 +1,85 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+
+#include "common/check.hpp"
+
+namespace abc::obs {
+
+u64 now_ns() noexcept {
+  return static_cast<u64>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+TraceRing::TraceRing(std::size_t capacity, u64 slow_threshold_ns)
+    : capacity_(capacity), slow_threshold_ns_(slow_threshold_ns) {
+  ABC_CHECK_ARG(capacity_ > 0, "trace ring capacity must be positive");
+  ring_.reserve(capacity_);
+  slow_ring_.reserve(capacity_);
+}
+
+void TraceRing::push(const Trace& trace) {
+  std::lock_guard<std::mutex> lock(m_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(trace);
+  } else {
+    ring_[next_ % capacity_] = trace;
+  }
+  ++next_;
+  if (slow_threshold_ns_ != 0 && trace.total_ns() >= slow_threshold_ns_) {
+    ++slow_count_;
+    if (slow_ring_.size() < capacity_) {
+      slow_ring_.push_back(trace);
+    } else {
+      slow_ring_[slow_next_ % capacity_] = trace;
+    }
+    ++slow_next_;
+  }
+}
+
+std::vector<Trace> TraceRing::copy_out(const std::vector<Trace>& ring,
+                                       std::size_t next) {
+  std::vector<Trace> out;
+  out.reserve(ring.size());
+  if (ring.size() < next) {
+    // Wrapped: oldest entry sits at the write cursor.
+    const std::size_t cap = ring.size();
+    for (std::size_t i = 0; i < cap; ++i) {
+      out.push_back(ring[(next + i) % cap]);
+    }
+  } else {
+    out = ring;
+  }
+  return out;
+}
+
+std::vector<Trace> TraceRing::recent() const {
+  std::lock_guard<std::mutex> lock(m_);
+  return copy_out(ring_, next_);
+}
+
+std::vector<Trace> TraceRing::slow() const {
+  std::lock_guard<std::mutex> lock(m_);
+  return copy_out(slow_ring_, slow_next_);
+}
+
+u64 TraceRing::slow_count() const {
+  std::lock_guard<std::mutex> lock(m_);
+  return slow_count_;
+}
+
+namespace {
+thread_local Trace* t_active_trace = nullptr;
+}  // namespace
+
+Trace* active_trace() noexcept { return t_active_trace; }
+
+TraceScope::TraceScope(Trace* trace) noexcept : previous_(t_active_trace) {
+  t_active_trace = trace;
+}
+
+TraceScope::~TraceScope() { t_active_trace = previous_; }
+
+}  // namespace abc::obs

@@ -21,6 +21,7 @@
 
 #include <mutex>
 
+#include "obs/metrics.hpp"
 #include "server/ring_buffer.hpp"
 
 namespace abc::server {
@@ -49,15 +50,14 @@ class RunQueue {
   bool steal(T& out) {
     std::lock_guard<std::mutex> lock(consumer_m_);
     if (!ring_.try_pop(out)) return false;
-    ++steals_;
+    steals_.inc();
     return true;
   }
 
-  /// Items drained via steal() over the queue's lifetime.
-  u64 steals() const {
-    std::lock_guard<std::mutex> lock(consumer_m_);
-    return steals_;
-  }
+  /// Items drained via steal() over *this queue's* lifetime — a thin
+  /// forwarder over the queue's server.steals counter instance (the
+  /// registry snapshot aggregates every queue).
+  u64 steals() const { return steals_.value(); }
 
   std::size_t size() const noexcept { return ring_.size(); }
 
@@ -65,7 +65,8 @@ class RunQueue {
   SpscRing<T> ring_;
   std::mutex producer_m_;
   mutable std::mutex consumer_m_;
-  u64 steals_ = 0;  // guarded by consumer_m_
+  obs::Counter steals_ =
+      obs::registry().counter(obs::catalog::kServerSteals);
 };
 
 }  // namespace abc::server

@@ -10,6 +10,7 @@
 
 #include "common/check.hpp"
 #include "common/failpoint.hpp"
+#include "obs/export_json.hpp"
 
 namespace abc::server {
 namespace {
@@ -45,6 +46,7 @@ const char* status_name(Status s) noexcept {
 struct Server::Pending {
   ckks::RequestFrame request;
   std::promise<ckks::ResponseFrame> promise;
+  obs::Trace trace;  // stamped at admission, completed by execute()
 };
 
 /// Per-worker evaluation state. Each worker owns its own BatchEvaluator
@@ -78,9 +80,16 @@ Server::Server(ServerConfig config) : config_(std::move(config)) {
   ABC_CHECK_ARG(config_.pin_dispatch_to <
                     static_cast<int>(config_.workers),
                 "pin_dispatch_to must name an existing worker");
+  ABC_CHECK_ARG(config_.trace_ring_capacity >= 1,
+                "trace ring needs at least one slot");
   config_.queue_capacity = std::bit_ceil(config_.queue_capacity);
 
-  stats_.per_worker_processed.assign(config_.workers, 0);
+  per_worker_processed_.reset(new std::atomic<u64>[config_.workers]);
+  for (std::size_t w = 0; w < config_.workers; ++w) {
+    per_worker_processed_[w].store(0, std::memory_order_relaxed);
+  }
+  traces_ = std::make_unique<obs::TraceRing>(config_.trace_ring_capacity,
+                                             config_.slow_request_ns);
   queues_.reserve(config_.workers);
   worker_states_.reserve(config_.workers);
   signals_.reserve(config_.workers);
@@ -112,6 +121,8 @@ void Server::stop() {
   for (auto& q : queues_) {
     Pending* p = nullptr;
     while (q->pop(p)) {
+      queue_depth_.sub(1);
+      drained_.inc();
       p->promise.set_value(error_response(p->request.request_id,
                                           Status::kShuttingDown,
                                           "server stopped before dispatch"));
@@ -143,6 +154,7 @@ std::future<ckks::ResponseFrame> Server::submit(ckks::RequestFrame request) {
   // enqueue — a rejected request costs the rejecter O(1).
   std::shared_lock<std::shared_mutex> lifecycle(lifecycle_m_);
   if (stopping_.load(std::memory_order_acquire)) {
+    rejected_shutting_down_.inc();
     return reject(Status::kShuttingDown, "server is shutting down");
   }
   try {
@@ -151,13 +163,17 @@ std::future<ckks::ResponseFrame> Server::submit(ckks::RequestFrame request) {
     return reject(Status::kInternal, e.what());
   }
   if (pending->request.payload.size() > config_.max_request_bytes) {
-    {
-      std::lock_guard<std::mutex> lock(stats_m_);
-      ++stats_.rejected_too_large;
-    }
+    rejected_too_large_.inc();
     return reject(Status::kTooLarge,
                   "request payload exceeds the admission bound");
   }
+
+  // Admission passed: stamp the trace before the enqueue — a worker may
+  // dequeue the pending the instant push() returns.
+  pending->trace.request_id = request_id;
+  pending->trace.tenant = pending->request.tenant;
+  pending->trace.op = pending->request.op;
+  pending->trace.admit_ns = obs::now_ns();
 
   // Dispatch: pinned (test knob) targets exactly one queue; round-robin
   // starts at the cursor and tries each queue once, so one backed-up
@@ -179,10 +195,7 @@ std::future<ckks::ResponseFrame> Server::submit(ckks::RequestFrame request) {
   }
 
   if (!enqueued) {
-    {
-      std::lock_guard<std::mutex> lock(stats_m_);
-      ++stats_.rejected_queue_full;
-    }
+    rejected_queue_full_.inc();
     try {
       ABC_FAILPOINT(fail::points::kServerQueueFull);
     } catch (const std::exception& e) {
@@ -193,10 +206,8 @@ std::future<ckks::ResponseFrame> Server::submit(ckks::RequestFrame request) {
   }
 
   (void)pending.release();  // the queue owns it now
-  {
-    std::lock_guard<std::mutex> lock(stats_m_);
-    ++stats_.accepted;
-  }
+  accepted_.inc();
+  queue_depth_.add(1);
   signals_[target]->cv.notify_one();
   if (config_.work_stealing) {
     for (std::size_t w = 0; w < signals_.size(); ++w) {
@@ -212,22 +223,21 @@ void Server::worker_loop(std::size_t worker) {
   const std::size_t n = queues_.size();
 
   while (true) {
+    // Checked before popping: stop() means queued-but-unprocessed work
+    // resolves kShuttingDown via the drain (the contract stop() documents),
+    // not a slow crawl through the backlog. The in-flight request, if any,
+    // still finishes normally.
+    if (stopping_.load(std::memory_order_acquire)) return;
     Pending* p = nullptr;
     if (queues_[worker]->pop(p)) {
-      execute(p, state, /*stolen=*/false);
-      std::lock_guard<std::mutex> lock(stats_m_);
-      ++stats_.processed;
-      ++stats_.per_worker_processed[worker];
+      execute(p, state, worker, /*stolen=*/false);
       continue;
     }
     if (config_.work_stealing && n > 1) {
       bool stole = false;
       for (std::size_t off = 1; off < n && !stole; ++off) {
         if (queues_[(worker + off) % n]->steal(p)) {
-          execute(p, state, /*stolen=*/true);
-          std::lock_guard<std::mutex> lock(stats_m_);
-          ++stats_.processed;
-          ++stats_.per_worker_processed[worker];
+          execute(p, state, worker, /*stolen=*/true);
           stole = true;
         }
       }
@@ -239,9 +249,18 @@ void Server::worker_loop(std::size_t worker) {
   }
 }
 
-void Server::execute(Pending* pending, WorkerState& state, bool stolen) {
+void Server::execute(Pending* pending, WorkerState& state, std::size_t worker,
+                     bool stolen) {
   ckks::ResponseFrame resp;
   const u64 request_id = pending->request.request_id;
+  pending->trace.dequeue_ns = obs::now_ns();
+  pending->trace.stolen = stolen;
+  queue_depth_.sub(1);
+  queue_wait_ns_.record(pending->trace.queue_wait_ns());
+  // Install the trace for the duration of the request so deep layers
+  // (key-switch tallies, engine stamps) reach it through active_trace()
+  // without signature changes.
+  obs::TraceScope trace_scope(&pending->trace);
   // The exception->status taxonomy of the whole daemon: a caller mistake
   // (malformed envelope, missing key, bad step) is kBadRequest; everything
   // else — invariant breaks, allocation failure, fault injection — is
@@ -258,6 +277,18 @@ void Server::execute(Pending* pending, WorkerState& state, bool stolen) {
     resp = error_response(request_id, Status::kInternal,
                           "foreign exception during dispatch");
   }
+  pending->trace.respond_ns = obs::now_ns();
+  const u64 total_ns = pending->trace.total_ns();
+  request_ns_.record(total_ns);
+  if (config_.slow_request_ns != 0 && total_ns >= config_.slow_request_ns) {
+    slow_requests_.inc();
+  }
+  traces_->push(pending->trace);
+  // Counted before the promise resolves: a client that has its response
+  // must find it reflected in processed counts (scrape-after-call reads
+  // are exact, not eventually consistent).
+  processed_.inc();
+  per_worker_processed_[worker].fetch_add(1, std::memory_order_relaxed);
   pending->promise.set_value(std::move(resp));
   delete pending;
 }
@@ -287,6 +318,8 @@ ckks::ResponseFrame Server::process(const ckks::RequestFrame& request,
       return evaluate(request, state);
     case Op::kRegister:
       return handle_register(request);
+    case Op::kStats:
+      return handle_stats(request);
   }
   return error_response(request.request_id, Status::kUnknownOp,
                         "unrecognized op byte " +
@@ -304,6 +337,7 @@ ckks::ResponseFrame Server::evaluate(const ckks::RequestFrame& request,
   std::vector<ckks::Ciphertext> cts =
       ckks::deserialize_ciphertext_batch(tenant->ctx, request.payload);
 
+  if (obs::Trace* t = obs::active_trace()) t->engine_start_ns = obs::now_ns();
   std::vector<ckks::Ciphertext> out;
   switch (static_cast<Op>(request.op)) {
     case Op::kEcho:
@@ -325,6 +359,7 @@ ckks::ResponseFrame Server::evaluate(const ckks::RequestFrame& request,
     default:
       ABC_CHECK_STATE(false, "evaluate() reached with a non-evaluate op");
   }
+  if (obs::Trace* t = obs::active_trace()) t->engine_end_ns = obs::now_ns();
 
   ckks::ResponseFrame resp;
   resp.request_id = request.request_id;
@@ -358,13 +393,31 @@ ckks::ResponseFrame Server::handle_register(
   return resp;
 }
 
+ckks::ResponseFrame Server::handle_stats(const ckks::RequestFrame& request) {
+  // Tenant-less admin scrape: the process-wide snapshot plus this
+  // server's trace rings, rendered once into the response payload.
+  const std::string json =
+      obs::stats_json(obs::registry().snapshot(), traces_.get());
+  ckks::ResponseFrame resp;
+  resp.request_id = request.request_id;
+  resp.status = static_cast<u8>(Status::kOk);
+  resp.payload.assign(json.begin(), json.end());
+  return resp;
+}
+
 ServerStats Server::stats() const {
   ServerStats out;
-  {
-    std::lock_guard<std::mutex> lock(stats_m_);
-    out = stats_;
+  out.accepted = accepted_.value();
+  out.rejected_too_large = rejected_too_large_.value();
+  out.rejected_queue_full = rejected_queue_full_.value();
+  out.processed = processed_.value();
+  out.drained = drained_.value();
+  out.slow_requests = slow_requests_.value();
+  out.per_worker_processed.reserve(config_.workers);
+  for (std::size_t w = 0; w < config_.workers; ++w) {
+    out.per_worker_processed.push_back(
+        per_worker_processed_[w].load(std::memory_order_relaxed));
   }
-  out.steals = 0;
   for (const auto& q : queues_) out.steals += q->steals();
   return out;
 }

@@ -45,6 +45,8 @@
 
 #include "ckks/serialize.hpp"
 #include "engine/batch_evaluator.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "server/run_queue.hpp"
 #include "server/session_registry.hpp"
 
@@ -53,12 +55,15 @@ namespace abc::server {
 /// Request op byte (RequestFrame::op). kRegister's op_arg indexes the
 /// server's published parameter menu (ServerConfig::param_sets) and its
 /// payload is an "ABCP" key bundle; the evaluate ops take an "ABCB"
-/// ciphertext batch and kRotate's op_arg is the step.
+/// ciphertext batch and kRotate's op_arg is the step. kStats is the admin
+/// scrape: tenant-less, empty request payload, response payload = the
+/// obs::stats_json document (metrics snapshot + recent/slow traces).
 enum class Op : u8 {
   kEcho = 0,      // deserialize + reserialize (round-trip/loopback)
   kRotate = 1,    // rotate every ciphertext left by op_arg slots
   kSquare = 2,    // square + relinearize every ciphertext
   kRegister = 3,  // register a tenant; response payload = 8-byte id
+  kStats = 4,     // metrics + trace scrape; response payload = JSON
 };
 
 /// Response status byte (ResponseFrame::status). Everything except kOk
@@ -95,14 +100,26 @@ struct ServerConfig {
   /// Lets tests fill one queue deterministically (backpressure) or force
   /// cross-core migration (an idle sibling must steal to make progress).
   int pin_dispatch_to = -1;
+  /// Completed traces retained for the Op::kStats scrape (recent ring and
+  /// slow ring each hold this many).
+  std::size_t trace_ring_capacity = 256;
+  /// End-to-end threshold above which a request counts as slow and its
+  /// trace is also filed into the slow ring. 0 disables slow tracking.
+  u64 slow_request_ns = 1'000'000'000;  // 1 s
 };
 
+/// Per-server instantaneous view, populated from this server's own metric
+/// instances (exact per-instance semantics; Server::metrics_snapshot()
+/// gives the aggregated process view). Under ABC_NO_METRICS every counter
+/// here reads 0 — observability is what the flag compiles out.
 struct ServerStats {
   u64 accepted = 0;            // enqueued to some run queue
   u64 rejected_too_large = 0;  // admission: payload bound
   u64 rejected_queue_full = 0; // admission: every eligible queue full
   u64 processed = 0;           // responses produced by workers
   u64 steals = 0;              // requests drained via migration
+  u64 drained = 0;             // queued requests resolved by stop()
+  u64 slow_requests = 0;       // end-to-end time >= slow_request_ns
   std::vector<u64> per_worker_processed;
 };
 
@@ -154,17 +171,28 @@ class Server {
 
   ServerStats stats() const;
 
+  /// The process-wide metrics snapshot (every server, engine, transport
+  /// and failpoint aggregate) — what Op::kStats serializes.
+  obs::MetricsSnapshot metrics_snapshot() const {
+    return obs::registry().snapshot();
+  }
+
+  /// This server's completed-request traces (recent + slow rings).
+  const obs::TraceRing& traces() const noexcept { return *traces_; }
+
  private:
   struct Pending;      // queued request + promise
   struct WorkerState;  // per-worker BatchEvaluator cache
 
   void worker_loop(std::size_t worker);
-  void execute(Pending* pending, WorkerState& state, bool stolen);
+  void execute(Pending* pending, WorkerState& state, std::size_t worker,
+               bool stolen);
   ckks::ResponseFrame process(const ckks::RequestFrame& request,
                               WorkerState& state);
   ckks::ResponseFrame evaluate(const ckks::RequestFrame& request,
                                WorkerState& state);
   ckks::ResponseFrame handle_register(const ckks::RequestFrame& request);
+  ckks::ResponseFrame handle_stats(const ckks::RequestFrame& request);
 
   ServerConfig config_;
   ContextCache cache_;
@@ -187,8 +215,34 @@ class Server {
   std::atomic<bool> stopping_{false};
   std::atomic<u64> rr_next_{0};  // round-robin dispatch cursor
 
-  mutable std::mutex stats_m_;
-  ServerStats stats_;
+  // Per-server metric instances on the global registry: inc/record is one
+  // relaxed atomic add on the calling thread's shard (no stats mutex on
+  // any hot path), Counter::value() keeps the exact per-instance reads
+  // stats() promises, and the registry snapshot aggregates all servers.
+  obs::Counter accepted_ =
+      obs::registry().counter(obs::catalog::kServerAccepted);
+  obs::Counter rejected_too_large_ =
+      obs::registry().counter(obs::catalog::kServerRejectedTooLarge);
+  obs::Counter rejected_queue_full_ =
+      obs::registry().counter(obs::catalog::kServerRejectedQueueFull);
+  obs::Counter rejected_shutting_down_ =
+      obs::registry().counter(obs::catalog::kServerRejectedShuttingDown);
+  obs::Counter processed_ =
+      obs::registry().counter(obs::catalog::kServerProcessed);
+  obs::Counter drained_ =
+      obs::registry().counter(obs::catalog::kServerDrained);
+  obs::Counter slow_requests_ =
+      obs::registry().counter(obs::catalog::kServerSlowRequests);
+  obs::Gauge queue_depth_ =
+      obs::registry().gauge(obs::catalog::kServerQueueDepth);
+  obs::Histogram queue_wait_ns_ =
+      obs::registry().histogram(obs::catalog::kServerQueueWaitNs);
+  obs::Histogram request_ns_ =
+      obs::registry().histogram(obs::catalog::kServerRequestNs);
+  // Worker attribution is a plain atomic array (not a catalog metric), so
+  // per_worker_processed stays exact even under ABC_NO_METRICS.
+  std::unique_ptr<std::atomic<u64>[]> per_worker_processed_;
+  std::unique_ptr<obs::TraceRing> traces_;
 };
 
 }  // namespace abc::server

@@ -11,11 +11,11 @@ std::shared_ptr<const ckks::CkksContext> ContextCache::get_or_create(
   std::lock_guard<std::mutex> lock(m_);
   for (const auto& [key, ctx] : entries_) {
     if (key == params) {
-      ++hits_;
+      hits_.inc();
       return ctx;
     }
   }
-  ++misses_;
+  misses_.inc();
   // Scalar backend on purpose (see the header): request-level parallelism
   // belongs to the daemon's per-core workers.
   auto ctx = ckks::CkksContext::create(params);
@@ -26,16 +26,6 @@ std::shared_ptr<const ckks::CkksContext> ContextCache::get_or_create(
 std::size_t ContextCache::size() const {
   std::lock_guard<std::mutex> lock(m_);
   return entries_.size();
-}
-
-u64 ContextCache::hits() const {
-  std::lock_guard<std::mutex> lock(m_);
-  return hits_;
-}
-
-u64 ContextCache::misses() const {
-  std::lock_guard<std::mutex> lock(m_);
-  return misses_;
 }
 
 TenantSession parse_tenant_bundle(
@@ -86,6 +76,7 @@ u64 SessionRegistry::add(TenantSession session) {
   session.id = id;
   tenants_.emplace(id,
                    std::make_shared<const TenantSession>(std::move(session)));
+  resident_.add(1);
   return id;
 }
 
@@ -97,7 +88,9 @@ std::shared_ptr<const TenantSession> SessionRegistry::find(u64 tenant) const {
 
 bool SessionRegistry::erase(u64 tenant) {
   std::unique_lock<std::shared_mutex> lock(m_);
-  return tenants_.erase(tenant) != 0;
+  const bool erased = tenants_.erase(tenant) != 0;
+  if (erased) resident_.sub(1);
+  return erased;
 }
 
 std::size_t SessionRegistry::size() const {

@@ -30,6 +30,7 @@
 #include "ckks/context.hpp"
 #include "ckks/keygen.hpp"
 #include "ckks/serialize.hpp"
+#include "obs/metrics.hpp"
 
 namespace abc::server {
 
@@ -41,8 +42,10 @@ class ContextCache {
       const ckks::CkksParams& params);
 
   std::size_t size() const;
-  u64 hits() const;
-  u64 misses() const;
+  /// Thin forwarders over this cache's session.context_cache_* counter
+  /// instances (the registry snapshot aggregates every cache).
+  u64 hits() const { return hits_.value(); }
+  u64 misses() const { return misses_.value(); }
 
  private:
   mutable std::mutex m_;
@@ -51,8 +54,10 @@ class ContextCache {
   std::vector<std::pair<ckks::CkksParams,
                         std::shared_ptr<const ckks::CkksContext>>>
       entries_;
-  u64 hits_ = 0;
-  u64 misses_ = 0;
+  obs::Counter hits_ =
+      obs::registry().counter(obs::catalog::kContextCacheHits);
+  obs::Counter misses_ =
+      obs::registry().counter(obs::catalog::kContextCacheMisses);
 };
 
 /// One registered tenant: the expanded key material a request needs,
@@ -94,6 +99,8 @@ class SessionRegistry {
   mutable std::shared_mutex m_;
   std::unordered_map<u64, std::shared_ptr<const TenantSession>> tenants_;
   u64 next_id_ = 1;
+  obs::Gauge resident_ =
+      obs::registry().gauge(obs::catalog::kResidentTenants);
 };
 
 }  // namespace abc::server

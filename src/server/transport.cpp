@@ -10,9 +10,27 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "obs/metrics.hpp"
 
 namespace abc::server {
 namespace {
+
+// Leaked (like the global registry) so frames sent during static teardown
+// still have live handles. Counts both directions of both UDS endpoints —
+// the process-level wire traffic view.
+struct TransportMetrics {
+  obs::Counter bytes_in =
+      obs::registry().counter(obs::catalog::kTransportBytesIn);
+  obs::Counter bytes_out =
+      obs::registry().counter(obs::catalog::kTransportBytesOut);
+  obs::Counter frame_errors =
+      obs::registry().counter(obs::catalog::kTransportFrameErrors);
+};
+
+TransportMetrics& transport_metrics() {
+  static TransportMetrics* m = new TransportMetrics;
+  return *m;
+}
 
 // Frame = u32 length (LE) || bytes. The length is a *claim* by the peer;
 // both sides bound it against their own limit before reserving anything.
@@ -57,24 +75,42 @@ bool send_frame(int fd, const std::vector<u8>& bytes) {
   for (int i = 0; i < 4; ++i) {
     header[i] = static_cast<u8>(bytes.size() >> (8 * i));
   }
-  return send_all(fd, header, 4) && send_all(fd, bytes.data(), bytes.size());
+  if (!send_all(fd, header, 4) ||
+      !send_all(fd, bytes.data(), bytes.size())) {
+    return false;
+  }
+  transport_metrics().bytes_out.inc(4 + bytes.size());
+  return true;
 }
 
 /// Reads one frame into @p out. Returns false on clean EOF. @p max_bytes
 /// bounds the claimed length before the buffer is reserved.
 bool recv_frame(int fd, std::vector<u8>& out, std::size_t max_bytes) {
   u8 header[4];
-  if (!recv_all(fd, header, 4)) return false;
+  try {
+    if (!recv_all(fd, header, 4)) return false;
+  } catch (...) {
+    transport_metrics().frame_errors.inc();  // peer died inside the header
+    throw;
+  }
   u64 len = 0;
   for (int i = 0; i < 4; ++i) len |= static_cast<u64>(header[i]) << (8 * i);
-  if (len > max_bytes) {
-    throw InvalidArgument("framed message claims " + std::to_string(len) +
-                          " bytes, above the transport bound");
+  try {
+    if (len > max_bytes) {
+      throw InvalidArgument("framed message claims " + std::to_string(len) +
+                            " bytes, above the transport bound");
+    }
+    out.resize(static_cast<std::size_t>(len));
+    if (len > 0 && !recv_all(fd, out.data(), out.size())) {
+      throw std::runtime_error("uds peer closed mid-frame");
+    }
+  } catch (...) {
+    // Every post-header failure — oversize claim, mid-frame EOF, socket
+    // error — leaves the stream unrecoverable: one frame error each.
+    transport_metrics().frame_errors.inc();
+    throw;
   }
-  out.resize(static_cast<std::size_t>(len));
-  if (len > 0 && !recv_all(fd, out.data(), out.size())) {
-    throw std::runtime_error("uds peer closed mid-frame");
-  }
+  transport_metrics().bytes_in.inc(4 + len);
   return true;
 }
 

@@ -166,13 +166,17 @@ TEST(RunQueue, StealDrainsFromTheSameEndAndCounts) {
   EXPECT_EQ(got, 2);
   ASSERT_TRUE(queue.steal(got));
   EXPECT_EQ(got, 3);
-  EXPECT_EQ(queue.steals(), 2u);
+  // The steal counter lives on the obs registry; it reads 0 when metrics
+  // are compiled out, so the exact counts only hold in enabled builds.
+  if (obs::kMetricsEnabled) EXPECT_EQ(queue.steals(), 2u);
   ASSERT_TRUE(queue.steal(got));
   ASSERT_TRUE(queue.steal(got));
   EXPECT_EQ(got, 5);
-  EXPECT_EQ(queue.steals(), 4u);
+  if (obs::kMetricsEnabled) EXPECT_EQ(queue.steals(), 4u);
   EXPECT_FALSE(queue.steal(got));
-  EXPECT_EQ(queue.steals(), 4u);  // a failed steal is not a steal
+  if (obs::kMetricsEnabled) {
+    EXPECT_EQ(queue.steals(), 4u);  // a failed steal is not a steal
+  }
 }
 
 TEST(RunQueue, ConcurrentOwnerAndThievesPartitionTheStream) {
