@@ -16,16 +16,19 @@
 //
 // Build & run:
 //   cmake -B build && cmake --build build -j
-//   ./build/serve_clients [--stats-json <path>]
+//   ./build/serve_clients [--stats-json <path>] [--key-cache-mb <n>]
 //
 // --stats-json writes the scraped kStats payload to <path> (CI validates
-// it with tools/check_stats_scrape.py).
+// it with tools/check_stats_scrape.py). --key-cache-mb sizes the daemon's
+// shared expanded-key cache (default from ServerConfig; small values
+// demonstrate regeneration churn in the keycache.* metrics).
 
 #include <unistd.h>
 
 #include <chrono>
 #include <complex>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <mutex>
 #include <random>
@@ -40,9 +43,12 @@
 int main(int argc, char** argv) {
   using namespace abc;
   std::string stats_json_path;
+  std::size_t key_cache_mb = 0;  // 0 = ServerConfig default
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--stats-json") == 0 && i + 1 < argc) {
       stats_json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--key-cache-mb") == 0 && i + 1 < argc) {
+      key_cache_mb = static_cast<std::size_t>(std::atol(argv[++i]));
     }
   }
   using Clock = std::chrono::steady_clock;
@@ -56,6 +62,7 @@ int main(int argc, char** argv) {
   server::ServerConfig cfg;
   cfg.workers = 2;
   cfg.param_sets = {params};
+  if (key_cache_mb > 0) cfg.key_cache_bytes = key_cache_mb << 20;
   server::Server daemon(cfg);
   std::printf("daemon up: %zu workers, queue capacity %zu, N = 2^%d\n\n",
               daemon.config().workers, daemon.config().queue_capacity,

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "backend/poly_backend.hpp"
+#include "ckks/key_source.hpp"
 #include "simd/dyadic_kernels.hpp"
 
 namespace abc::ckks {
@@ -38,16 +39,31 @@ Evaluator::Evaluator(std::shared_ptr<const CkksContext> ctx)
 
 void Evaluator::relinearize_inplace(Ciphertext& ct, const RelinKey& rlk,
                                     KeySwitchScratch* scratch) const {
+  relinearize_inplace(ct, rlk.key, scratch);
+}
+
+void Evaluator::relinearize_inplace(Ciphertext& ct, const KeySource& keys,
+                                    KeySwitchScratch* scratch) const {
+  // Shape check before the source resolves anything: a malformed request
+  // must not cost a cache miss (or pin a key it will never use).
   ABC_CHECK_ARG(ct.size() == 3,
                 "relinearization expects an unreduced 3-component product");
-  ABC_CHECK_ARG(rlk.key.kind == KeySwitchKey::Kind::kRelin,
+  const std::shared_ptr<const KeySwitchKey> key = keys.relin_key();
+  relinearize_inplace(ct, *key, scratch);
+}
+
+void Evaluator::relinearize_inplace(Ciphertext& ct, const KeySwitchKey& rlk,
+                                    KeySwitchScratch* scratch) const {
+  ABC_CHECK_ARG(ct.size() == 3,
+                "relinearization expects an unreduced 3-component product");
+  ABC_CHECK_ARG(rlk.kind == KeySwitchKey::Kind::kRelin,
                 "not a relinearization key");
   const std::size_t limbs = ct.limbs();
   // Every check accumulate() would make, hoisted up front: nothing below
   // may throw after ct starts mutating (a caller catching mid-way would
   // otherwise hold a 2-component ciphertext that decrypts to garbage).
-  ABC_CHECK_ARG(rlk.key.digits() >= limbs && !rlk.key.b.empty() &&
-                    rlk.key.b[0].limbs() == ctx_->max_limbs(),
+  ABC_CHECK_ARG(rlk.digits() >= limbs && !rlk.b.empty() &&
+                    rlk.b[0].limbs() == ctx_->max_limbs(),
                 "relin key does not cover this ciphertext");
   KeySwitchScratch local;
   KeySwitchScratch& s = scratch ? *scratch : local;
@@ -62,7 +78,7 @@ void Evaluator::relinearize_inplace(Ciphertext& ct, const RelinKey& rlk,
   // external scratch the whole relinearization is allocation-free.
   poly::RnsPoly ks0 = std::move(ct.components.back());
   ct.components.pop_back();
-  switcher_.accumulate(rlk.key, {}, s, ks0, c2);
+  switcher_.accumulate(rlk, {}, s, ks0, c2);
   ct.c(0).add_inplace(ks0);
   ct.c(1).add_inplace(c2);
   ct.compressed_c1.reset();
@@ -77,10 +93,8 @@ void Evaluator::relinearize_inplace(Ciphertext& ct, const RelinKey& rlk,
 /// equivalent ciphertext; standardizing on this form is what makes one
 /// hoisted decomposition serve every step bit-identically to single
 /// rotations.
-void Evaluator::rotate_into(const Ciphertext& ct, int step,
-                            const GaloisKeys& gks, KeySwitchScratch& s,
-                            Ciphertext& out) const {
-  const KeySwitchKey& key = gks.key_for(step);
+void Evaluator::rotate_into(const Ciphertext& ct, const KeySwitchKey& key,
+                            KeySwitchScratch& s, Ciphertext& out) const {
   ABC_CHECK_ARG(key.kind == KeySwitchKey::Kind::kGalois, "not a Galois key");
   const std::size_t limbs = ct.limbs();
   poly::RnsPoly ks0 = ctx_->make_poly(limbs, poly::Domain::kEval);
@@ -114,27 +128,55 @@ void Evaluator::decompose_c1(const Ciphertext& ct,
 Ciphertext Evaluator::rotate(const Ciphertext& ct, int step,
                              const GaloisKeys& gks,
                              KeySwitchScratch* scratch) const {
-  (void)gks.key_for(step);  // fail before the expensive decomposition
+  // Resolved before the expensive decomposition: a missing key fails fast.
+  return rotate(ct, gks.key_for(step), scratch);
+}
+
+Ciphertext Evaluator::rotate(const Ciphertext& ct, const KeySwitchKey& key,
+                             KeySwitchScratch* scratch) const {
   KeySwitchScratch local;
   KeySwitchScratch& s = scratch ? *scratch : local;
   decompose_c1(ct, s);
   Ciphertext out;
-  rotate_into(ct, step, gks, s, out);
+  rotate_into(ct, key, s, out);
   return out;
+}
+
+Ciphertext Evaluator::rotate(const Ciphertext& ct, int step,
+                             const KeySource& keys,
+                             KeySwitchScratch* scratch) const {
+  // Pin first: the source's lookup failure (missing key, regeneration
+  // error) surfaces before any decomposition work.
+  const std::shared_ptr<const KeySwitchKey> key = keys.galois_key(step);
+  return rotate(ct, *key, scratch);
 }
 
 std::vector<Ciphertext> Evaluator::rotate_many(const Ciphertext& ct,
                                                std::span<const int> steps,
                                                const GaloisKeys& gks,
                                                KeySwitchScratch* scratch) const {
+  return rotate_many(ct, steps, EagerKeySource(&gks, nullptr), scratch);
+}
+
+std::vector<Ciphertext> Evaluator::rotate_many(const Ciphertext& ct,
+                                               std::span<const int> steps,
+                                               const KeySource& keys,
+                                               KeySwitchScratch* scratch) const {
   KeySwitchScratch local;
   KeySwitchScratch& s = scratch ? *scratch : local;
   std::vector<Ciphertext> out(steps.size());
   if (steps.empty()) return out;
-  for (const int step : steps) (void)gks.key_for(step);  // fail fast
+  for (const int step : steps) {  // fail fast, without pinning anything
+    if (!keys.has_galois_key(step)) {
+      throw InvalidArgument("no Galois key generated for this step");
+    }
+  }
   decompose_c1(ct, s);  // once; every step reuses the digits
   for (std::size_t i = 0; i < steps.size(); ++i) {
-    rotate_into(ct, steps[i], gks, s, out[i]);
+    // One key pinned at a time: a caching source's footprint for a hoisted
+    // batch stays at a single resident key.
+    const std::shared_ptr<const KeySwitchKey> key = keys.galois_key(steps[i]);
+    rotate_into(ct, *key, s, out[i]);
   }
   return out;
 }

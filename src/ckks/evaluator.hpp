@@ -23,6 +23,8 @@
 
 namespace abc::ckks {
 
+class KeySource;
+
 class Evaluator {
  public:
   explicit Evaluator(std::shared_ptr<const CkksContext> ctx);
@@ -51,10 +53,31 @@ class Evaluator {
   void relinearize_inplace(Ciphertext& ct, const RelinKey& rlk,
                            KeySwitchScratch* scratch = nullptr) const;
 
+  /// relinearize_inplace with a pre-resolved key (must be Kind::kRelin).
+  /// This is the single underlying code path: the RelinKey and KeySource
+  /// overloads both land here, which is what makes on-demand-regenerated
+  /// keys bit-identical to eager ones by construction.
+  void relinearize_inplace(Ciphertext& ct, const KeySwitchKey& rlk,
+                           KeySwitchScratch* scratch = nullptr) const;
+
+  /// relinearize_inplace resolving (and pinning) the key through a
+  /// KeySource for the duration of the switch.
+  void relinearize_inplace(Ciphertext& ct, const KeySource& keys,
+                           KeySwitchScratch* scratch = nullptr) const;
+
   /// Rotates slots left by @p step (negative steps rotate right) using the
   /// matching Galois key: both components pass through sigma_g in the
   /// evaluation domain, and sigma_g(c1) is key-switched back to s.
   Ciphertext rotate(const Ciphertext& ct, int step, const GaloisKeys& gks,
+                    KeySwitchScratch* scratch = nullptr) const;
+
+  /// rotate with a pre-resolved Galois key (the single underlying code
+  /// path; the step is implied by key.galois_elt).
+  Ciphertext rotate(const Ciphertext& ct, const KeySwitchKey& key,
+                    KeySwitchScratch* scratch = nullptr) const;
+
+  /// rotate resolving (and pinning) the step's key through a KeySource.
+  Ciphertext rotate(const Ciphertext& ct, int step, const KeySource& keys,
                     KeySwitchScratch* scratch = nullptr) const;
 
   /// Rotations by every step in @p steps from one input, decomposing the
@@ -64,6 +87,16 @@ class Evaluator {
   std::vector<Ciphertext> rotate_many(const Ciphertext& ct,
                                       std::span<const int> steps,
                                       const GaloisKeys& gks,
+                                      KeySwitchScratch* scratch = nullptr) const;
+
+  /// rotate_many through a KeySource: the whole step set is validated with
+  /// the cheap has_galois_key probe *before* the hoisted decomposition,
+  /// then keys are pinned one at a time — a caching source never holds
+  /// more than one pinned key for this call no matter how many rotations
+  /// are requested.
+  std::vector<Ciphertext> rotate_many(const Ciphertext& ct,
+                                      std::span<const int> steps,
+                                      const KeySource& keys,
                                       KeySwitchScratch* scratch = nullptr) const;
 
   /// Exact RNS rescale: divides by the last prime with rounding and drops
@@ -86,7 +119,7 @@ class Evaluator {
 
   void rescale_poly(poly::RnsPoly& p) const;
   void decompose_c1(const Ciphertext& ct, KeySwitchScratch& scratch) const;
-  void rotate_into(const Ciphertext& ct, int step, const GaloisKeys& gks,
+  void rotate_into(const Ciphertext& ct, const KeySwitchKey& key,
                    KeySwitchScratch& scratch, Ciphertext& out) const;
 
   std::shared_ptr<const CkksContext> ctx_;

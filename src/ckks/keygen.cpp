@@ -82,7 +82,7 @@ u32 ksk_stream_domain(PrngDomain base, u32 galois_elt) {
   return static_cast<u32>(base) | (galois_elt << 8);
 }
 
-const KeySwitchKey& GaloisKeys::key_for(int step) const {
+const KeySwitchKey* GaloisKeys::find(int step) const noexcept {
   const auto reduce = [this](int s) {
     if (slots == 0) return static_cast<long long>(s);
     const auto m = static_cast<long long>(slots);
@@ -90,9 +90,17 @@ const KeySwitchKey& GaloisKeys::key_for(int step) const {
   };
   const long long want = reduce(step);
   for (std::size_t i = 0; i < steps.size(); ++i) {
-    if (reduce(steps[i]) == want) return keys.at(i);
+    if (reduce(steps[i]) == want && i < keys.size()) return &keys[i];
   }
-  throw InvalidArgument("no Galois key generated for this step");
+  return nullptr;
+}
+
+const KeySwitchKey& GaloisKeys::key_for(int step) const {
+  const KeySwitchKey* key = find(step);
+  if (key == nullptr) {
+    throw InvalidArgument("no Galois key generated for this step");
+  }
+  return *key;
 }
 
 void generate_ksk_digit(const CkksContext& ctx,

@@ -104,6 +104,10 @@ struct GaloisKeys {
   /// step 1 - slots are the same rotation and resolve to the same key);
   /// throws InvalidArgument when absent.
   const KeySwitchKey& key_for(int step) const;
+
+  /// key_for without the throw: nullptr when no key covers @p step (the
+  /// fail-fast probe KeySource::has_galois_key builds on).
+  const KeySwitchKey* find(int step) const noexcept;
 };
 
 /// Galois group element 3^step mod 2N driving a left rotation by @p step

@@ -289,9 +289,26 @@ std::vector<Ciphertext> deserialize_ciphertext_batch(
 
 namespace {
 
-PrngDomain ksk_salted_a_domain(const KeySwitchKey& key) {
+PrngDomain ksk_salted_a_domain(KeySwitchKey::Kind kind, u32 galois_elt) {
   return static_cast<PrngDomain>(
-      ksk_stream_domain(ksk_a_domain(key.kind), key.galois_elt));
+      ksk_stream_domain(ksk_a_domain(kind), galois_elt));
+}
+
+PrngDomain ksk_salted_a_domain(const KeySwitchKey& key) {
+  return ksk_salted_a_domain(key.kind, key.galois_elt);
+}
+
+/// Packing width of the context's prime chain: the widest prime's bit
+/// width. Lossless for every residue (all are < their prime), and tighter
+/// than any wire bits_per_coeff a client chose.
+int chain_prime_bits(const CkksContext& ctx) {
+  int bits = 0;
+  for (std::size_t l = 0; l < ctx.max_limbs(); ++l) {
+    const int w = static_cast<int>(
+        std::bit_width(ctx.poly_context()->modulus(l).value()));
+    bits = std::max(bits, w);
+  }
+  return bits;
 }
 
 /// The compressed forms drop the uniform halves, so the writer must prove
@@ -395,6 +412,114 @@ KeySwitchKey deserialize_key_switch_key(
       unpack_poly(*ctx, unpacker, a, h.bits_per_coeff);
     }
     key.a.push_back(std::move(a));
+  }
+  return key;
+}
+
+CompressedKeySwitchKey compress_key_switch_key(
+    const std::shared_ptr<const CkksContext>& ctx, const KeySwitchKey& key) {
+  ABC_CHECK_ARG(ctx != nullptr, "null context");
+  ABC_CHECK_ARG(!key.b.empty(), "empty key-switching key");
+  ABC_CHECK_ARG(key.a.size() == key.b.size(),
+                "mismatched key-switching key halves");
+  const std::size_t limbs = ctx->max_limbs();
+  ABC_CHECK_ARG(key.digits() == limbs,
+                "gadget digit count must equal the limb count");
+  for (std::size_t d = 0; d < key.digits(); ++d) {
+    ABC_CHECK_ARG(key.b[d].limbs() == limbs && key.a[d].limbs() == limbs,
+                  "all key digits must carry the full limb count");
+  }
+  const int bits = chain_prime_bits(*ctx);
+
+  CompressedKeySwitchKey out;
+  out.kind = key.kind;
+  out.galois_elt = key.galois_elt;
+  out.base_stream_id = key.base_stream_id;
+  out.limbs = static_cast<u16>(limbs);
+  // The hybrid accumulation never reads digit L-1 (levels stop at L-1 and
+  // digit indices at level-1), so the resident form drops it. A 1-limb
+  // chain cannot key-switch at all; keep its single digit for shape.
+  out.stored_digits =
+      static_cast<u16>(key.digits() > 1 ? key.digits() - 1 : key.digits());
+  out.bits_per_coeff = static_cast<u8>(bits);
+
+  BitPacker packer;
+  for (std::size_t d = 0; d < out.stored_digits; ++d) {
+    pack_poly(packer, key.b[d], bits);
+  }
+  out.packed_b = packer.finish();
+
+  // Prove the kept a digits regenerable from the stream metadata; a key
+  // whose uniform halves are foreign keeps them packed instead (bigger,
+  // but never silently expands to different key material).
+  const PrngDomain domain = ksk_salted_a_domain(key);
+  poly::RnsPoly expect = ctx->make_poly(limbs, poly::Domain::kEval);
+  bool regenerable = true;
+  for (std::size_t d = 0; d < out.stored_digits && regenerable; ++d) {
+    fill_uniform_eval(*ctx, expect, domain, key.base_stream_id + d);
+    for (std::size_t l = 0; l < limbs && regenerable; ++l) {
+      const std::span<const u64> got = key.a[d].limb(l);
+      const std::span<const u64> want = expect.limb(l);
+      regenerable = std::equal(got.begin(), got.end(), want.begin());
+    }
+  }
+  if (!regenerable) {
+    BitPacker pa;
+    for (std::size_t d = 0; d < out.stored_digits; ++d) {
+      pack_poly(pa, key.a[d], bits);
+    }
+    out.packed_a = pa.finish();
+  }
+  return out;
+}
+
+KeySwitchKey expand_key_switch_key(
+    const std::shared_ptr<const CkksContext>& ctx,
+    const CompressedKeySwitchKey& rec) {
+  ABC_CHECK_ARG(ctx != nullptr, "null context");
+  ABC_CHECK_ARG(rec.limbs == ctx->max_limbs(),
+                "compressed key limb count does not match the context");
+  ABC_CHECK_ARG(rec.stored_digits >= 1 && rec.stored_digits <= rec.limbs,
+                "compressed key digit count out of range");
+  ABC_CHECK_ARG(rec.bits_per_coeff >= 1 && rec.bits_per_coeff <= 57,
+                "compressed key packing width out of range");
+  if (rec.kind == KeySwitchKey::Kind::kGalois) {
+    ABC_CHECK_ARG((rec.galois_elt & 1u) != 0 &&
+                      rec.galois_elt < 2 * ctx->n(),
+                  "invalid galois element");
+  } else {
+    ABC_CHECK_ARG(rec.galois_elt == 0, "relin key with galois element");
+  }
+
+  KeySwitchKey key;
+  key.kind = rec.kind;
+  key.galois_elt = rec.galois_elt;
+  key.base_stream_id = rec.base_stream_id;
+  key.b.reserve(rec.stored_digits);
+  key.a.reserve(rec.stored_digits);
+  const int bits = rec.bits_per_coeff;
+  BitUnpacker ub(rec.packed_b);
+  for (std::size_t d = 0; d < rec.stored_digits; ++d) {
+    poly::RnsPoly b = ctx->make_poly(rec.limbs, poly::Domain::kEval);
+    unpack_poly(*ctx, ub, b, bits);
+    key.b.push_back(std::move(b));
+  }
+  if (rec.packed_a.empty()) {
+    // The exact call deserialize_key_switch_key makes for a compressed
+    // wire blob — the regenerated halves are bit-identical by definition.
+    const PrngDomain domain = ksk_salted_a_domain(rec.kind, rec.galois_elt);
+    for (std::size_t d = 0; d < rec.stored_digits; ++d) {
+      poly::RnsPoly a = ctx->make_poly(rec.limbs, poly::Domain::kEval);
+      fill_uniform_eval(*ctx, a, domain, rec.base_stream_id + d);
+      key.a.push_back(std::move(a));
+    }
+  } else {
+    BitUnpacker ua(rec.packed_a);
+    for (std::size_t d = 0; d < rec.stored_digits; ++d) {
+      poly::RnsPoly a = ctx->make_poly(rec.limbs, poly::Domain::kEval);
+      unpack_poly(*ctx, ua, a, bits);
+      key.a.push_back(std::move(a));
+    }
   }
   return key;
 }

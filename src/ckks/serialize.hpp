@@ -161,6 +161,66 @@ std::vector<u8> serialize_key_switch_key(
 KeySwitchKey deserialize_key_switch_key(
     const std::shared_ptr<const CkksContext>& ctx, std::span<const u8> bytes);
 
+// -- server-resident compressed keys ----------------------------------------
+
+/// A key-switching key in the form the serving daemon keeps *resident* per
+/// tenant: bit-packed b halves at the prime width plus the PRNG stream
+/// metadata the a halves regenerate from. Two storage savings over the
+/// expanded in-memory form (2 halves x L digits x L limbs x n x 8 bytes):
+///
+///  * the uniform a halves are dropped entirely when they prove
+///    regenerable from (seed, salted domain, base_stream_id + digit) —
+///    the same proof seed-compressed serialization performs; keys whose a
+///    halves are foreign fall back to packing them explicitly, so
+///    registration never rejects a key the wire formats accept;
+///  * the *last* gadget digit is dropped outright: hybrid key switching
+///    reserves the last prime P as the special modulus, so switchable
+///    ciphertexts sit at level <= L-1 and the accumulation only ever
+///    reads digits 0..level-1 <= L-2 (KeySwitcher::accumulate). A digit
+///    the server cannot reach is bytes it need not hold.
+///
+/// Packing at the prime width (max bit width over the chain, 36 for the
+/// default parameters) is lossless — residues are < q — so expansion
+/// reproduces the deserialized key bit for bit on every digit it keeps,
+/// which is what makes cached evaluation bit-identical to eager.
+struct CompressedKeySwitchKey {
+  KeySwitchKey::Kind kind = KeySwitchKey::Kind::kRelin;
+  u32 galois_elt = 0;
+  u64 base_stream_id = 0;
+  u16 limbs = 0;          // full prime-chain length L (limbs per digit)
+  u16 stored_digits = 0;  // digits kept: L - 1 (all, when L == 1)
+  u8 bits_per_coeff = 0;  // packing width = the chain's max prime width
+  std::vector<u8> packed_b;  // digit-major, limb-major bit-packed b halves
+  std::vector<u8> packed_a;  // empty when a is seed-regenerable
+
+  /// Bytes this record keeps resident (the packed payloads).
+  std::size_t resident_bytes() const noexcept {
+    return packed_b.size() + packed_a.size();
+  }
+
+  /// Bytes the eagerly expanded key held in memory (both halves, all L
+  /// digits, full limbs, 8-byte words) — the baseline the resident-memory
+  /// reduction is measured against.
+  std::size_t expanded_bytes(std::size_t n) const noexcept {
+    return 2 * static_cast<std::size_t>(limbs) * limbs * n * sizeof(u64);
+  }
+};
+
+/// Builds the resident record from an expanded key: packs the kept b
+/// digits at the prime width and proves each kept a digit regenerable
+/// (falling back to packing a when not). Throws InvalidArgument on a
+/// malformed key (mismatched halves, digits != limbs).
+CompressedKeySwitchKey compress_key_switch_key(
+    const std::shared_ptr<const CkksContext>& ctx, const KeySwitchKey& key);
+
+/// Expands a resident record back to an evaluation-ready key: unpacks b,
+/// regenerates (or unpacks) a. The result carries stored_digits gadget
+/// digits — enough for every switchable level — and is bit-identical on
+/// those digits to the key compress_key_switch_key consumed.
+KeySwitchKey expand_key_switch_key(
+    const std::shared_ptr<const CkksContext>& ctx,
+    const CompressedKeySwitchKey& key);
+
 /// Serializes a public key; compressed form ships b + stream id only,
 /// with the same regenerability verification as the switching keys.
 std::vector<u8> serialize_public_key(

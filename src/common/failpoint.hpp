@@ -143,11 +143,12 @@ inline constexpr const char* kServerAccept = "server.accept";
 inline constexpr const char* kServerQueueFull = "server.queue_full";
 inline constexpr const char* kServerDispatch = "server.dispatch";
 inline constexpr const char* kServerMigrate = "server.migrate";
+inline constexpr const char* kServerKeyRegen = "server.key_regen";
 inline constexpr const char* kEvaluateItem = "engine.evaluate_item";
 
 inline constexpr const char* kServerAll[] = {
     kServerAccept, kServerQueueFull, kServerDispatch,
-    kServerMigrate, kEvaluateItem,
+    kServerMigrate, kServerKeyRegen, kEvaluateItem,
 };
 }  // namespace points
 

@@ -1,5 +1,6 @@
 #include "engine/batch_evaluator.hpp"
 
+#include "ckks/key_source.hpp"
 #include "common/failpoint.hpp"
 
 namespace abc::engine {
@@ -53,6 +54,65 @@ std::vector<ckks::Ciphertext> BatchEvaluator::square_relin_batch(
     ABC_FAILPOINT(fail::points::kEvaluateItem);
     ckks::Ciphertext product = evaluator_.mul(cts[i], cts[i]);
     evaluator_.relinearize_inplace(product, rlk, &scratch_.at(worker));
+    out[i] = std::move(product);
+  });
+  return out;
+}
+
+std::vector<ckks::Ciphertext> BatchEvaluator::rotate_batch(
+    std::span<const ckks::Ciphertext> cts, int step,
+    const ckks::KeySource& keys) {
+  // Pin once for the whole batch: one lookup (at most one regeneration),
+  // and the key cannot be evicted while any item still switches on it.
+  const std::shared_ptr<const ckks::KeySwitchKey> key =
+      keys.galois_key(step);
+  std::vector<ckks::Ciphertext> out(cts.size());
+  core_.run(cts.size(), [&](std::size_t i, std::size_t worker) {
+    ABC_FAILPOINT(fail::points::kEvaluateItem);
+    out[i] = evaluator_.rotate(cts[i], *key, &scratch_.at(worker));
+  });
+  return out;
+}
+
+std::vector<ckks::Ciphertext> BatchEvaluator::rotate_batch(
+    std::span<const ckks::Ciphertext> cts, int step,
+    const ckks::KeySource& keys, BatchErrorReport& report) {
+  std::vector<ckks::Ciphertext> out(cts.size());
+  report = core_.run_isolated(cts.size(), [&](std::size_t i,
+                                              std::size_t worker) {
+    ABC_FAILPOINT(fail::points::kEvaluateItem);
+    // Per-item resolution: a lookup or regeneration failure lands in this
+    // item's report slot instead of failing the whole batch.
+    const std::shared_ptr<const ckks::KeySwitchKey> key =
+        keys.galois_key(step);
+    out[i] = evaluator_.rotate(cts[i], *key, &scratch_.at(worker));
+  });
+  return out;
+}
+
+std::vector<ckks::Ciphertext> BatchEvaluator::square_relin_batch(
+    std::span<const ckks::Ciphertext> cts, const ckks::KeySource& keys) {
+  const std::shared_ptr<const ckks::KeySwitchKey> key = keys.relin_key();
+  std::vector<ckks::Ciphertext> out(cts.size());
+  core_.run(cts.size(), [&](std::size_t i, std::size_t worker) {
+    ABC_FAILPOINT(fail::points::kEvaluateItem);
+    ckks::Ciphertext product = evaluator_.mul(cts[i], cts[i]);
+    evaluator_.relinearize_inplace(product, *key, &scratch_.at(worker));
+    out[i] = std::move(product);
+  });
+  return out;
+}
+
+std::vector<ckks::Ciphertext> BatchEvaluator::square_relin_batch(
+    std::span<const ckks::Ciphertext> cts, const ckks::KeySource& keys,
+    BatchErrorReport& report) {
+  std::vector<ckks::Ciphertext> out(cts.size());
+  report = core_.run_isolated(cts.size(), [&](std::size_t i,
+                                              std::size_t worker) {
+    ABC_FAILPOINT(fail::points::kEvaluateItem);
+    const std::shared_ptr<const ckks::KeySwitchKey> key = keys.relin_key();
+    ckks::Ciphertext product = evaluator_.mul(cts[i], cts[i]);
+    evaluator_.relinearize_inplace(product, *key, &scratch_.at(worker));
     out[i] = std::move(product);
   });
   return out;

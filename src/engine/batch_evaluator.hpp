@@ -46,10 +46,23 @@ class BatchEvaluator {
       std::span<const ckks::Ciphertext> cts, int step,
       const ckks::GaloisKeys& gks);
 
+  /// rotate_batch through a KeySource (the serving daemon's cache-backed
+  /// path): the step's key is resolved and pinned ONCE up front — a cache
+  /// regeneration failure surfaces before any item work, and the pin
+  /// guarantees eviction cannot free the key mid-batch.
+  std::vector<ckks::Ciphertext> rotate_batch(
+      std::span<const ckks::Ciphertext> cts, int step,
+      const ckks::KeySource& keys);
+
   /// ct[i] <- relinearize(ct[i] * ct[i]): the squaring activation of the
   /// encrypted-inference profile, scale squared, level unchanged.
   std::vector<ckks::Ciphertext> square_relin_batch(
       std::span<const ckks::Ciphertext> cts, const ckks::RelinKey& rlk);
+
+  /// square_relin_batch through a KeySource; same pin-once contract as the
+  /// KeySource rotate_batch.
+  std::vector<ckks::Ciphertext> square_relin_batch(
+      std::span<const ckks::Ciphertext> cts, const ckks::KeySource& keys);
 
   // -- per-item-fault mode ----------------------------------------------------
   // One malformed ciphertext no longer aborts the batch: @p report records
@@ -63,6 +76,18 @@ class BatchEvaluator {
 
   std::vector<ckks::Ciphertext> square_relin_batch(
       std::span<const ckks::Ciphertext> cts, const ckks::RelinKey& rlk,
+      BatchErrorReport& report);
+
+  /// Report-mode KeySource variants resolve the key PER ITEM inside the
+  /// isolation boundary, so a key lookup / regeneration failure is
+  /// recorded against the item that hit it (the same per-item failure
+  /// semantics the eager report overloads have for evaluation errors).
+  std::vector<ckks::Ciphertext> rotate_batch(
+      std::span<const ckks::Ciphertext> cts, int step,
+      const ckks::KeySource& keys, BatchErrorReport& report);
+
+  std::vector<ckks::Ciphertext> square_relin_batch(
+      std::span<const ckks::Ciphertext> cts, const ckks::KeySource& keys,
       BatchErrorReport& report);
 
  private:

@@ -196,6 +196,13 @@ inline constexpr const char* kTransportBytesIn = "transport.bytes_in";
 inline constexpr const char* kTransportBytesOut = "transport.bytes_out";
 inline constexpr const char* kTransportFrameErrors = "transport.frame_errors";
 
+// key cache (src/server/key_cache.cpp)
+inline constexpr const char* kKeyCacheHits = "keycache.hits";
+inline constexpr const char* kKeyCacheMisses = "keycache.misses";
+inline constexpr const char* kKeyCacheEvictions = "keycache.evictions";
+inline constexpr const char* kKeyCacheRegenNs = "keycache.regen_ns";
+inline constexpr const char* kKeyCacheResidentBytes = "keycache.resident_bytes";
+
 // failpoints (re-exported from the fail registry at scrape time)
 inline constexpr const char* kFailpointHits = "failpoint.hits";
 inline constexpr const char* kFailpointFires = "failpoint.fires";
@@ -224,6 +231,11 @@ inline constexpr Entry kAll[] = {
     {kTransportBytesIn, Kind::kCounter},
     {kTransportBytesOut, Kind::kCounter},
     {kTransportFrameErrors, Kind::kCounter},
+    {kKeyCacheHits, Kind::kCounter},
+    {kKeyCacheMisses, Kind::kCounter},
+    {kKeyCacheEvictions, Kind::kCounter},
+    {kKeyCacheRegenNs, Kind::kHistogram},
+    {kKeyCacheResidentBytes, Kind::kGauge},
     {kFailpointHits, Kind::kCounter},
     {kFailpointFires, Kind::kCounter},
 };

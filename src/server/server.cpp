@@ -347,15 +347,16 @@ ckks::ResponseFrame Server::evaluate(const ckks::RequestFrame& request,
       ABC_CHECK_ARG(request.op_arg >= std::numeric_limits<int>::min() &&
                         request.op_arg <= std::numeric_limits<int>::max(),
                     "rotation step out of range");
+      const TenantKeySource keys(key_cache_, *tenant);
       out = state.evaluator_for(tenant->ctx)
-                .rotate_batch(cts, static_cast<int>(request.op_arg),
-                              tenant->gks);
+                .rotate_batch(cts, static_cast<int>(request.op_arg), keys);
       break;
     }
-    case Op::kSquare:
-      out = state.evaluator_for(tenant->ctx)
-                .square_relin_batch(cts, tenant->rlk);
+    case Op::kSquare: {
+      const TenantKeySource keys(key_cache_, *tenant);
+      out = state.evaluator_for(tenant->ctx).square_relin_batch(cts, keys);
       break;
+    }
     default:
       ABC_CHECK_STATE(false, "evaluate() reached with a non-evaluate op");
   }

@@ -5,7 +5,9 @@
 /// serving daemon. One Server owns
 ///
 ///  * a warm ContextCache (parameter set -> shared CkksContext),
-///  * a SessionRegistry of tenants and their expanded keys,
+///  * a SessionRegistry of tenants and their seed-compressed key records,
+///  * a byte-bounded KeyCache regenerating expanded key-switch keys on
+///    demand, shared by every tenant and worker (key_cache.hpp),
 ///  * N per-core worker threads, each draining its own bounded SPSC
 ///    RunQueue, with cross-core work stealing when a sibling backs up,
 ///  * admission control that bounds queue depth and per-request bytes
@@ -47,6 +49,7 @@
 #include "engine/batch_evaluator.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "server/key_cache.hpp"
 #include "server/run_queue.hpp"
 #include "server/session_registry.hpp"
 
@@ -92,6 +95,13 @@ struct ServerConfig {
   bool work_stealing = true;
   /// Packed residue width of response envelopes.
   int bits_per_coeff = 44;
+  /// Byte budget of the shared expanded-key cache (all tenants, all
+  /// workers). Requests regenerate evicted keys on demand, so this bounds
+  /// resident key memory without bounding the serveable tenant count;
+  /// undersizing it trades throughput (regeneration churn), never
+  /// correctness. Must be >= 1 (the Server constructor throws on 0 — a
+  /// daemon that cannot hold a key in flight cannot evaluate).
+  std::size_t key_cache_bytes = 256u << 20;
   /// Parameter sets kRegister may target (op_arg = index). Published
   /// explicitly because an "ABCK" blob alone cannot reconstruct a full
   /// parameter set — a real deployment pins what it serves.
@@ -150,7 +160,13 @@ class Server {
   /// the wire frames. Returns the tenant id.
   u64 register_tenant(const ckks::CkksParams& params,
                       const ckks::KeyBundleFrames& bundle);
-  bool unregister_tenant(u64 tenant) { return registry_.erase(tenant); }
+  bool unregister_tenant(u64 tenant) {
+    // Registry first (new requests stop resolving the tenant), then the
+    // cache (its expanded keys stop occupying the shared budget).
+    const bool erased = registry_.erase(tenant);
+    key_cache_.drop_tenant(tenant);
+    return erased;
+  }
 
   // -- requests ---------------------------------------------------------------
 
@@ -180,6 +196,10 @@ class Server {
   /// This server's completed-request traces (recent + slow rings).
   const obs::TraceRing& traces() const noexcept { return *traces_; }
 
+  /// The shared expanded-key cache (hit/miss/eviction stats for tests,
+  /// benches and the capacity-sizing tables in docs/ARCHITECTURE.md).
+  KeyCache::Stats key_cache_stats() const { return key_cache_.stats(); }
+
  private:
   struct Pending;      // queued request + promise
   struct WorkerState;  // per-worker BatchEvaluator cache
@@ -197,6 +217,7 @@ class Server {
   ServerConfig config_;
   ContextCache cache_;
   SessionRegistry registry_;
+  KeyCache key_cache_{config_.key_cache_bytes};
 
   std::vector<std::unique_ptr<RunQueue<Pending*>>> queues_;
   std::vector<std::thread> workers_;

@@ -22,7 +22,6 @@
 
 #include <memory>
 #include <mutex>
-#include <optional>
 #include <shared_mutex>
 #include <unordered_map>
 #include <vector>
@@ -60,24 +59,50 @@ class ContextCache {
       obs::registry().counter(obs::catalog::kContextCacheMisses);
 };
 
-/// One registered tenant: the expanded key material a request needs,
-/// pinned to the (shared) context it was registered under. Immutable after
-/// registration, so workers read it lock-free through a shared_ptr.
+/// One registered tenant: *seed-compressed* key records pinned to the
+/// (shared) context they were registered under. The daemon no longer
+/// materializes expanded key-switch keys per tenant — a request expands
+/// the record it needs through the shared bounded KeyCache
+/// (src/server/key_cache.hpp), so per-tenant resident state is
+/// O(compressed keys), not O(2 L^2 n) words per key. The public key is
+/// validated at registration and then *discarded*: no server operation
+/// ever encrypts under a tenant's key, so holding it resident would be
+/// pure overhead. Immutable after registration; workers read it lock-free
+/// through a shared_ptr.
 struct TenantSession {
   u64 id = 0;
   std::shared_ptr<const ckks::CkksContext> ctx;
-  // optional only because PublicKey is not default-constructible (RnsPoly
-  // needs a context); always engaged after parse_tenant_bundle.
-  std::optional<ckks::PublicKey> pk;
-  ckks::RelinKey rlk;
-  ckks::GaloisKeys gks;  // steps recovered from the keys' Galois elements
+  std::size_t slots = 0;  // step matching modulus (GaloisKeys semantics)
+  ckks::CompressedKeySwitchKey rlk;
+  std::vector<int> gk_steps;  // gk_steps[i] belongs to gks[i]
+  std::vector<ckks::CompressedKeySwitchKey> gks;
+
+  /// The compressed record covering @p step (matched modulo the slot
+  /// count, exactly like GaloisKeys::key_for); nullptr when absent.
+  const ckks::CompressedKeySwitchKey* galois_record_for(
+      int step) const noexcept;
+
+  /// Bytes this session keeps resident for key material (packed payloads
+  /// of the relin key + every Galois key).
+  std::size_t compressed_key_bytes() const noexcept;
+
+  /// Bytes the same key set held under the old eager scheme (every key
+  /// fully expanded) — the baseline of the resident-memory reduction.
+  std::size_t expanded_key_bytes() const noexcept;
+
+  /// Eagerly expanded forms, for callers outside the serving hot path
+  /// (tests, tooling). The hot path goes through the KeyCache instead.
+  ckks::RelinKey expand_rlk() const;
+  ckks::GaloisKeys expand_gks() const;
 };
 
-/// Parses a tenant's uploaded key bundle against @p ctx: public key,
-/// relinearization key, and Galois keys whose rotation steps are recovered
-/// from their Galois elements (the "ABCK" blobs carry 3^step mod 2N, not
-/// the step). Throws InvalidArgument on any malformed, tampered or
-/// wrong-kind blob — registration is all-or-nothing.
+/// Parses a tenant's uploaded key bundle against @p ctx: the public key is
+/// deserialized (full tamper validation) and dropped; the relinearization
+/// key and the Galois keys — rotation steps recovered from their Galois
+/// elements (the "ABCK" blobs carry 3^step mod 2N, not the step) — are
+/// re-compressed into resident records. Throws InvalidArgument on any
+/// malformed, tampered or wrong-kind blob — registration is
+/// all-or-nothing.
 TenantSession parse_tenant_bundle(
     const std::shared_ptr<const ckks::CkksContext>& ctx,
     const ckks::KeyBundleFrames& bundle);

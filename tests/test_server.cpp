@@ -594,8 +594,8 @@ TEST_F(ServerTest, BatchEvaluatorBitIdenticalAcrossBackends) {
         server::parse_tenant_bundle(ctx, frames);
     const auto cts = ckks::deserialize_ciphertext_batch(ctx, upload);
     engine::BatchEvaluator eval(ctx);
-    const auto rotated = eval.rotate_batch(cts, 1, keys.gks);
-    const auto squared = eval.square_relin_batch(cts, keys.rlk);
+    const auto rotated = eval.rotate_batch(cts, 1, keys.expand_gks());
+    const auto squared = eval.square_relin_batch(cts, keys.expand_rlk());
     return std::make_pair(ckks::serialize_ciphertext_batch(rotated),
                           ckks::serialize_ciphertext_batch(squared));
   };
@@ -616,16 +616,17 @@ TEST_F(ServerTest, BatchEvaluatorReportModeIsolatesTheFaultedItem) {
 
   auto ctx = ckks::CkksContext::create(params);  // scalar: in-order items
   const server::TenantSession keys = server::parse_tenant_bundle(ctx, frames);
+  const ckks::GaloisKeys gks = keys.expand_gks();
   const auto cts = ckks::deserialize_ciphertext_batch(ctx, upload);
   engine::BatchEvaluator eval(ctx);
-  const auto clean = eval.rotate_batch(cts, 1, keys.gks);
+  const auto clean = eval.rotate_batch(cts, 1, gks);
 
   fail::Policy second_item;
   second_item.trigger = fail::Trigger::kNthHit;
   second_item.nth = 2;
   fail::arm(fail::points::kEvaluateItem, second_item);
   engine::BatchErrorReport report;
-  const auto faulted = eval.rotate_batch(cts, 1, keys.gks, report);
+  const auto faulted = eval.rotate_batch(cts, 1, gks, report);
   fail::disarm_all();
 
   ASSERT_EQ(report.size(), cts.size());

@@ -41,11 +41,23 @@ COUNTERS = [
     "transport.bytes_in",
     "transport.bytes_out",
     "transport.frame_errors",
+    "keycache.hits",
+    "keycache.misses",
+    "keycache.evictions",
     "failpoint.hits",
     "failpoint.fires",
 ]
-GAUGES = ["server.queue_depth", "session.resident_tenants"]
-HISTOGRAMS = ["server.queue_wait_ns", "server.request_ns", "engine.item_ns"]
+GAUGES = [
+    "server.queue_depth",
+    "session.resident_tenants",
+    "keycache.resident_bytes",
+]
+HISTOGRAMS = [
+    "server.queue_wait_ns",
+    "server.request_ns",
+    "engine.item_ns",
+    "keycache.regen_ns",
+]
 
 HIST_BUCKETS = 48
 
